@@ -1,0 +1,162 @@
+// Ablation studies for this library's design choices (DESIGN.md §4), beyond
+// the paper's own sensitivity analysis:
+//   1. Exchange strategy 3-way: the paper's CC and DC plus our hierarchical
+//      node-leader extension (HC) across rank counts.
+//   2. Direct k-way refinement in the partitioner: cut/imbalance with and
+//      without the post-pass.
+//   3. Poisson preconditioner: block-SSOR vs Jacobi vs none (iterations and
+//      virtual solve time).
+
+#include <cstdio>
+#include <map>
+
+#include "balance/rebalancer.hpp"
+#include "common.hpp"
+#include "linalg/dist.hpp"
+#include "mesh/nozzle.hpp"
+#include "partition/partitioner.hpp"
+#include "pic/poisson.hpp"
+
+using namespace dsmcpic;
+using bench::BenchOptions;
+
+namespace {
+
+void strategy_ablation(const BenchOptions& opt) {
+  const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
+  std::map<std::string, std::map<int, double>> times;
+  for (const auto strategy :
+       {exchange::Strategy::kDistributed, exchange::Strategy::kCentralized,
+        exchange::Strategy::kHierarchical}) {
+    for (const int nranks : opt.ranks) {
+      auto par = bench::make_parallel(ds, nranks, strategy, true, opt);
+      times[exchange::strategy_name(strategy)][nranks] =
+          bench::run_case(ds, par, opt).total_time;
+      std::fprintf(stderr, "  strategy %s ranks=%d done\n",
+                   exchange::strategy_name(strategy), nranks);
+    }
+  }
+  Table t("Ablation 1 — exchange strategy (total virtual seconds, Tianhe-2)");
+  std::vector<std::string> header{"strategy"};
+  for (const int n : opt.ranks) header.push_back(std::to_string(n));
+  t.header(header);
+  for (const char* s : {"DC", "CC", "HC"}) {
+    std::vector<std::string> row{s};
+    for (const int n : opt.ranks) row.push_back(Table::num(times[s][n], 1));
+    t.row(row);
+  }
+  t.print();
+  std::printf(
+      "HC = hierarchical node-leader extension: DC-like volume with "
+      "N_nodes^2 instead of N^2 inter-node transactions.\n\n");
+}
+
+void repartitioner_ablation(const BenchOptions& opt) {
+  // End-to-end: the paper's weighted graph decomposition vs the geometric
+  // baselines of the related work (CHAOS-style octree, Morton SFC) driving
+  // the same dynamic load balancer.
+  const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
+  Table t("Ablation 1b — repartitioner inside the load balancer "
+          "(total virtual seconds)");
+  std::vector<std::string> header{"repartitioner"};
+  for (const int n : opt.ranks) header.push_back(std::to_string(n));
+  t.header(header);
+  for (const auto repart : {balance::Repartitioner::kGraph,
+                            balance::Repartitioner::kOctree,
+                            balance::Repartitioner::kMorton}) {
+    std::vector<std::string> row{balance::repartitioner_name(repart)};
+    for (const int nranks : opt.ranks) {
+      auto par = bench::make_parallel(ds, nranks,
+                                      exchange::Strategy::kDistributed, true,
+                                      opt);
+      par.balance.repartitioner = repart;
+      row.push_back(Table::num(bench::run_case(ds, par, opt).total_time, 1));
+      std::fprintf(stderr, "  repart %s ranks=%d done\n",
+                   balance::repartitioner_name(repart), nranks);
+    }
+    t.row(row);
+  }
+  t.print();
+  std::printf(
+      "Geometric baselines balance particle counts but ignore the dual-graph "
+      "cut, so their exchanges move more particles per step.\n\n");
+}
+
+void refine_ablation() {
+  mesh::NozzleSpec spec;
+  spec.radial_divisions = 6;
+  spec.axial_divisions = 18;
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  partition::Graph dual;
+  grid.dual_graph(dual.xadj, dual.adjncy);
+
+  Table t("Ablation 2 — direct k-way refinement in the partitioner");
+  t.header({"parts", "cut (raw)", "cut (refined)", "imb (raw)",
+            "imb (refined)"});
+  for (const int k : {8, 24, 96, 384}) {
+    partition::PartitionOptions raw_opt;
+    raw_opt.kway_refine_passes = 0;
+    partition::PartitionOptions ref_opt;
+    const auto raw = partition::part_graph_kway(dual, k, raw_opt);
+    const auto refined = partition::part_graph_kway(dual, k, ref_opt);
+    t.row({std::to_string(k), std::to_string(raw.cut),
+           std::to_string(refined.cut), Table::num(raw.imbalance, 3),
+           Table::num(refined.imbalance, 3)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void precon_ablation() {
+  mesh::NozzleSpec spec;
+  spec.radial_divisions = 6;
+  spec.axial_divisions = 18;
+  const mesh::TetMesh coarse = mesh::make_cylinder_nozzle(spec);
+  const mesh::RefinedMesh fine =
+      mesh::red_refine(coarse, mesh::nozzle_classifier(spec));
+  const pic::PoissonSystem sys(fine.mesh, {});
+  const std::vector<double> charge(sys.num_nodes(), 0.0);
+  const std::vector<double> b = sys.rhs(charge);
+
+  Table t("Ablation 3 — Poisson preconditioner (fine grid, " +
+          std::to_string(sys.num_nodes()) + " nodes)");
+  t.header({"ranks", "none", "jacobi", "block-ssor", "(CG iterations)"});
+  for (const int nranks : {1, 8, 64}) {
+    std::vector<std::int32_t> owner(sys.num_nodes());
+    for (std::int32_t i = 0; i < sys.num_nodes(); ++i)
+      owner[i] = (static_cast<std::int64_t>(i) * nranks) / sys.num_nodes();
+    linalg::DistMatrix dm = linalg::DistMatrix::build(
+        sys.matrix(), linalg::DistLayout::build(nranks, owner, sys.matrix()));
+    std::vector<std::string> row{std::to_string(nranks)};
+    for (const auto p : {linalg::Precon::kNone, linalg::Precon::kJacobi,
+                         linalg::Precon::kBlockSsor}) {
+      par::Runtime rt(nranks,
+                      par::Topology(par::MachineProfile::tianhe2(), nranks));
+      linalg::SolveOptions opt{.rel_tol = 1e-6, .max_iterations = 2000};
+      opt.dist_precon = p;
+      linalg::DistVector db = linalg::scatter_vector(dm.layout, b);
+      linalg::DistVector dx(nranks);
+      const auto res = linalg::dist_cg(rt, "solve", dm, db, dx, opt);
+      row.push_back(std::to_string(res.iterations));
+    }
+    row.push_back("block precon weakens as blocks shrink");
+    t.row(row);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Design-choice ablations: exchange strategies, k-way refinement, "
+          "Poisson preconditioning");
+  bench::CommonFlags common(cli, "24,96,384", 30);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opt = common.finish();
+
+  strategy_ablation(opt);
+  repartitioner_ablation(opt);
+  refine_ablation();
+  precon_ablation();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for the communication strategies and
+// the load-balancer building blocks, plus a check of the paper's Sec. IV-B3
+// analytic model: centralized ~ 2N transactions / 2M records, distributed
+// ~ N(N-1) transactions / M records.
+
+#include <benchmark/benchmark.h>
+
+#include "balance/hungarian.hpp"
+#include "exchange/exchange.hpp"
+#include "par/machine.hpp"
+#include "par/runtime.hpp"
+#include "partition/partitioner.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace dsmcpic;
+
+struct ExchangeWorld {
+  par::Runtime rt;
+  std::vector<dsmc::ParticleStore> stores;
+  std::vector<std::vector<std::uint8_t>> removed;
+  std::vector<std::int32_t> owner;
+
+  ExchangeWorld(int nranks, int particles_per_rank)
+      : rt(nranks, par::Topology(par::MachineProfile::tianhe2(), nranks)),
+        stores(nranks),
+        removed(nranks),
+        owner(nranks * 8) {
+    for (std::size_t c = 0; c < owner.size(); ++c)
+      owner[c] = static_cast<std::int32_t>(c % nranks);
+    Rng rng(7);
+    for (int r = 0; r < nranks; ++r) {
+      for (int i = 0; i < particles_per_rank; ++i) {
+        dsmc::ParticleRecord p;
+        p.cell = static_cast<std::int32_t>(rng.uniform_index(owner.size()));
+        p.id = r * 100000 + i;
+        stores[r].add(p);
+      }
+      removed[r].assign(stores[r].size(), 0);
+    }
+  }
+};
+
+void BM_ExchangeCentralized(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExchangeWorld w(nranks, 256);
+    state.ResumeTiming();
+    exchange::exchange_particles(w.rt, "x", exchange::Strategy::kCentralized,
+                                 w.stores, w.removed, w.owner);
+  }
+}
+BENCHMARK(BM_ExchangeCentralized)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExchangeDistributed(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExchangeWorld w(nranks, 256);
+    state.ResumeTiming();
+    exchange::exchange_particles(w.rt, "x", exchange::Strategy::kDistributed,
+                                 w.stores, w.removed, w.owner);
+  }
+}
+BENCHMARK(BM_ExchangeDistributed)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PartitionerKway(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // 32x32 grid graph.
+  partition::Graph g;
+  const int nx = 32;
+  g.xadj.assign(nx * nx + 1, 0);
+  std::vector<std::vector<std::int32_t>> adj(nx * nx);
+  for (int y = 0; y < nx; ++y)
+    for (int x = 0; x < nx; ++x) {
+      const int v = y * nx + x;
+      if (x + 1 < nx) {
+        adj[v].push_back(v + 1);
+        adj[v + 1].push_back(v);
+      }
+      if (y + 1 < nx) {
+        adj[v].push_back(v + nx);
+        adj[v + nx].push_back(v);
+      }
+    }
+  for (int v = 0; v < nx * nx; ++v) g.xadj[v + 1] = g.xadj[v] + adj[v].size();
+  for (int v = 0; v < nx * nx; ++v)
+    g.adjncy.insert(g.adjncy.end(), adj[v].begin(), adj[v].end());
+  for (auto _ : state) {
+    auto r = partition::part_graph_kway(g, k);
+    benchmark::DoNotOptimize(r.cut);
+  }
+}
+BENCHMARK(BM_PartitionerKway)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HungarianMaxWeight(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<double> w(static_cast<std::size_t>(n) * n);
+  for (auto& x : w) x = rng.uniform(0, 1000);
+  for (auto _ : state) {
+    auto r = balance::hungarian_max(w, n);
+    benchmark::DoNotOptimize(r.total);
+  }
+}
+BENCHMARK(BM_HungarianMaxWeight)->Arg(24)->Arg(96)->Arg(384)->Arg(1536);
+
+/// Validates the Sec. IV-B3 analytic model against the implementation.
+void BM_CommModelCheck(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  std::uint64_t cc_tx = 0, dc_tx = 0;
+  double cc_bytes = 0, dc_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExchangeWorld cc(nranks, 256), dc(nranks, 256);
+    state.ResumeTiming();
+    exchange::exchange_particles(cc.rt, "x", exchange::Strategy::kCentralized,
+                                 cc.stores, cc.removed, cc.owner);
+    exchange::exchange_particles(dc.rt, "x", exchange::Strategy::kDistributed,
+                                 dc.stores, dc.removed, dc.owner);
+    cc_tx = cc.rt.phase_stats("x").transactions;
+    dc_tx = dc.rt.phase_stats("x").transactions;
+    cc_bytes = cc.rt.phase_stats("x").bytes;
+    dc_bytes = dc.rt.phase_stats("x").bytes;
+  }
+  state.counters["cc_tx"] = static_cast<double>(cc_tx);
+  state.counters["cc_tx_model_2N"] = 2.0 * nranks;
+  state.counters["dc_tx"] = static_cast<double>(dc_tx);
+  state.counters["dc_tx_model_NN"] = static_cast<double>(nranks) * (nranks - 1);
+  state.counters["bytes_ratio_cc_over_dc"] =
+      dc_bytes > 0 ? cc_bytes / dc_bytes : 0.0;  // model: ~2M vs M
+}
+BENCHMARK(BM_CommModelCheck)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 14: impact of the MPI rank placement on Tianhe-2's
+// fat-tree (32 nodes per frame, 4 frames per rack): inner-frame vs
+// inner-rack vs inter-rack placements for both communication strategies,
+// up to 96 processes. The paper finds inner-frame best but the differences
+// small (~1-2%), showing robustness.
+
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+using namespace dsmcpic;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 14 — MPI rank placement impact (Dataset 2 analogue, "
+          "Tianhe-2 profile, <= 96 ranks)");
+  bench::CommonFlags common(cli, "24,48,96", 40);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opt = common.finish();
+
+  const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
+  const par::Placement placements[] = {par::Placement::kInnerFrame,
+                                       par::Placement::kInnerRack,
+                                       par::Placement::kInterRack};
+
+  std::map<std::string, std::map<int, double>> times;
+  for (const auto strategy : {exchange::Strategy::kDistributed,
+                              exchange::Strategy::kCentralized}) {
+    for (const auto placement : placements) {
+      const std::string key = std::string(exchange::strategy_name(strategy)) +
+                              " " + par::placement_name(placement);
+      for (const int nranks : opt.ranks) {
+        auto par = bench::make_parallel(ds, nranks, strategy, true, opt);
+        par.placement = placement;
+        times[key][nranks] = bench::run_case(ds, par, opt).total_time;
+        std::fprintf(stderr, "  done %-16s ranks=%d\n", key.c_str(), nranks);
+      }
+    }
+  }
+
+  Table t("Fig. 14 — total execution time (virtual seconds) per placement");
+  std::vector<std::string> header{"strategy/placement"};
+  for (const int n : opt.ranks) header.push_back(std::to_string(n));
+  t.header(header);
+  for (const auto& [key, by_rank] : times) {
+    std::vector<std::string> row{key};
+    for (const int n : opt.ranks) row.push_back(Table::num(by_rank.at(n), 1));
+    t.row(row);
+  }
+  t.print();
+
+  Table rel("Slowdown vs inner-frame (paper: ~1-2%)");
+  rel.header(header);
+  for (const char* s : {"DC", "CC"}) {
+    const auto& base = times[std::string(s) + " inner-frame"];
+    for (const char* p : {"inner-rack", "inter-rack"}) {
+      std::vector<std::string> row{std::string(s) + " " + p};
+      const auto& cur = times[std::string(s) + " " + p];
+      for (const int n : opt.ranks)
+        row.push_back(Table::pct((cur.at(n) - base.at(n)) / base.at(n)));
+      rel.row(row);
+    }
+  }
+  rel.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Table III: total execution times of DSMC_Move and
+// PIC_Move with and without dynamic load balance across the rank sweep.
+// The paper observes LB cutting both to less than one third.
+
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+using namespace dsmcpic;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  Cli cli("Table III — DSMC_Move / PIC_Move times with vs without LB "
+          "(Dataset 2 analogue, DC strategy, Tianhe-2 profile)");
+  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opt = common.finish();
+
+  const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
+
+  std::map<bool, std::map<int, core::RunSummary>> results;
+  for (const bool lb : {true, false}) {
+    for (const int nranks : opt.ranks) {
+      const auto par = bench::make_parallel(
+          ds, nranks, exchange::Strategy::kDistributed, lb, opt);
+      results[lb][nranks] = bench::run_case(ds, par, opt).summary;
+      std::fprintf(stderr, "  done LB=%d ranks=%d\n", lb, nranks);
+    }
+  }
+
+  Table t("Table III — move-phase times (virtual seconds, max over ranks)");
+  std::vector<std::string> header{"procedure"};
+  for (const int n : opt.ranks) header.push_back(std::to_string(n));
+  t.header(header);
+  for (const char* phase : {core::phases::kDsmcMove, core::phases::kPicMove}) {
+    for (const bool lb : {true, false}) {
+      std::vector<std::string> row{std::string(phase) +
+                                   (lb ? " (with LB)" : " (no LB)")};
+      for (const int n : opt.ranks)
+        row.push_back(Table::num(results[lb][n].phase_max(phase), 1));
+      t.row(row);
+    }
+  }
+  t.print();
+
+  Table ratio("LB speedup of the move phases (paper: > 3x)");
+  ratio.header(header);
+  for (const char* phase : {core::phases::kDsmcMove, core::phases::kPicMove}) {
+    std::vector<std::string> row{std::string(phase) + " no-LB/LB"};
+    for (const int n : opt.ranks) {
+      const double with = results[true][n].phase_max(phase);
+      const double without = results[false][n].phase_max(phase);
+      row.push_back(with > 0 ? Table::num(without / with, 2) + "x" : "-");
+    }
+    ratio.row(row);
+  }
+  ratio.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+// Shared infrastructure for the paper-reproduction bench binaries: every
+// bench builds a Dataset, sweeps virtual-rank counts / strategies / balancer
+// settings, and prints the same rows the paper's table or figure reports.
+// Times are virtual seconds from the runtime's cost model (see DESIGN.md §1).
+
+#include <string>
+#include <vector>
+
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace dsmcpic::bench {
+
+struct BenchOptions {
+  std::vector<int> ranks;       // rank sweep
+  int steps = 0;                // DSMC steps per run
+  double particle_scale = 1.0;  // multiplies dataset particle targets
+  std::string machine = "tianhe2";
+  std::uint64_t seed = 42;
+
+  par::MachineProfile profile() const;
+};
+
+/// Registers the common flags on `cli`; call `finish(cli)` after parse.
+class CommonFlags {
+ public:
+  CommonFlags(Cli& cli, const std::string& default_ranks, int default_steps);
+  BenchOptions finish() const;
+
+ private:
+  const std::string* ranks_;
+  const std::int64_t* steps_;
+  const double* particles_;
+  const std::string* machine_;
+  const std::int64_t* seed_;
+};
+
+/// Parses "24,48,96" into {24, 48, 96}.
+std::vector<int> parse_rank_list(const std::string& csv);
+
+/// Builds the parallel config for one case with paper-magnitude cost scales.
+core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
+                                   exchange::Strategy strategy,
+                                   bool balance_enabled,
+                                   const BenchOptions& opt);
+
+struct CaseResult {
+  core::RunSummary summary;
+  std::vector<core::StepDiagnostics> history;
+  double total_time = 0.0;  // virtual seconds end-to-end
+};
+
+/// Runs one solver case for opt.steps DSMC steps.
+CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
+                    const BenchOptions& opt);
+
+}  // namespace dsmcpic::bench

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Plot helper for the bench outputs.
+
+Parses the aligned tables printed by the bench binaries (bench_output.txt or
+a single bench's stdout) and renders per-table PNG line charts with
+matplotlib when available, or gnuplot-ready .dat files otherwise.
+
+Usage:
+    python3 scripts/plot_bench.py bench_output.txt -o plots/
+"""
+import argparse
+import os
+import re
+import sys
+
+
+def parse_tables(text):
+    """Yields (title, header, rows) for every '== title ==' table."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = re.match(r"== (.*) ==$", lines[i])
+        if not m:
+            i += 1
+            continue
+        title = m.group(1)
+        if i + 2 >= len(lines):
+            break
+        header = lines[i + 1].split()
+        rows = []
+        j = i + 3  # skip the dashed rule
+        while j < len(lines) and lines[j].strip() and not lines[j].startswith("=="):
+            rows.append(lines[j].rstrip())
+            j += 1
+        yield title, header, rows
+        i = j
+
+
+def numeric_cells(row, ncols):
+    """Splits an aligned row into a label and float-able cells."""
+    parts = row.split()
+    label_len = len(parts) - (ncols - 1)
+    label = " ".join(parts[:max(1, label_len)])
+    vals = []
+    for cell in parts[max(1, label_len):]:
+        cell = cell.rstrip("%x")
+        try:
+            vals.append(float(cell.replace("+", "")))
+        except ValueError:
+            vals.append(None)
+    return label, vals
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input")
+    ap.add_argument("-o", "--outdir", default="plots")
+    args = ap.parse_args()
+    text = open(args.input).read()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not found: writing gnuplot .dat files instead")
+
+    for idx, (title, header, rows) in enumerate(parse_tables(text)):
+        xs = []
+        for h in header[1:]:
+            try:
+                xs.append(float(h))
+            except ValueError:
+                xs = None
+                break
+        if not xs or not rows:
+            continue
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower())[:60].strip("_")
+        series = []
+        for row in rows:
+            label, vals = numeric_cells(row, len(header))
+            if any(v is not None for v in vals):
+                series.append((label, vals))
+        if not series:
+            continue
+        if have_mpl:
+            plt.figure(figsize=(6, 4))
+            for label, vals in series:
+                ys = [v for v in vals[: len(xs)]]
+                plt.plot(xs[: len(ys)], ys, marker="o", label=label)
+            plt.xscale("log", base=2)
+            plt.xlabel(header[0] if header else "x")
+            plt.ylabel("virtual seconds")
+            plt.title(title, fontsize=9)
+            plt.legend(fontsize=7)
+            plt.tight_layout()
+            path = os.path.join(args.outdir, f"{idx:02d}_{slug}.png")
+            plt.savefig(path, dpi=120)
+            plt.close()
+            print("wrote", path)
+        else:
+            path = os.path.join(args.outdir, f"{idx:02d}_{slug}.dat")
+            with open(path, "w") as f:
+                f.write("# " + title + "\n# x " +
+                        " ".join(l for l, _ in series) + "\n")
+                for k, x in enumerate(xs):
+                    cells = [str(x)]
+                    for _, vals in series:
+                        cells.append(str(vals[k]) if k < len(vals) and
+                                     vals[k] is not None else "nan")
+                    f.write(" ".join(cells) + "\n")
+            print("wrote", path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+#pragma once
+// Kuhn–Munkres (Hungarian) algorithm for the assignment problem, used to
+// remap re-decomposed grid parts onto ranks with maximum overlap — i.e.
+// minimum particle migration (paper Sec. V-C, Fig. 6). O(n^3) potentials
+// formulation (Jonker–Volgenant style), fast enough for n = 1536 ranks.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsmcpic::balance {
+
+struct AssignmentResult {
+  std::vector<int> row_to_col;  // size n; row i assigned to column row_to_col[i]
+  double total = 0.0;           // total weight/cost of the assignment
+  std::int64_t operations = 0;  // inner-loop operations (work accounting)
+};
+
+/// Minimum-cost perfect assignment on an n x n row-major cost matrix.
+AssignmentResult hungarian_min(std::span<const double> cost, int n);
+
+/// Maximum-weight perfect assignment (the grid-remapping objective).
+AssignmentResult hungarian_max(std::span<const double> weight, int n);
+
+}  // namespace dsmcpic::balance

@@ -1,0 +1,83 @@
+#pragma once
+// The dynamic load balancer (paper Sec. V, Algorithm 1).
+//
+//  * Load imbalance indicator lii (Eq. 6): the ratio of the busiest rank's
+//    pure compute time to the idlest rank's, with particle-migration and
+//    Poisson-solve times subtracted (those are the synchronization-dominated
+//    phases and are largely constant).
+//  * Weighted load model (Eq. 7): wlm_i = N_i + R*C_i + W_cell per coarse
+//    cell — N_i neutrals, C_i charged, R the PIC:DSMC timestep ratio,
+//    W_cell the per-cell (grid computation) weight.
+//  * Re-decomposition via the multilevel partitioner, then Kuhn–Munkres
+//    remapping of new parts onto old owners, maximizing kept particles and
+//    thus minimizing migration (Sec. V-C).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "balance/hungarian.hpp"
+#include "partition/geometric.hpp"
+#include "par/runtime.hpp"
+#include "partition/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dsmcpic::balance {
+
+/// Which decomposition algorithm the rebalancer uses. kGraph is the
+/// paper's approach (weighted METIS-style dual-graph partitioning);
+/// kOctree and kMorton are the geometric baselines from the related work
+/// (CHAOS-style particle-count balancing), for comparison benches.
+enum class Repartitioner { kGraph, kOctree, kMorton };
+
+const char* repartitioner_name(Repartitioner r);
+
+struct RebalanceConfig {
+  bool enabled = true;
+  Repartitioner repartitioner = Repartitioner::kGraph;
+  int period = 20;          // T: steps between lii checks (paper: T = 20)
+  double threshold = 2.0;   // lii trigger (paper: 2.0)
+  double weight_ratio = 2.0;  // R: PIC timesteps per DSMC timestep
+  double cell_weight = 1.0;   // W_cell (paper Table VI sweeps 1..10000)
+  bool use_km = true;         // KM remap ablation (paper Table V)
+  partition::PartitionOptions partition_options;
+};
+
+struct RebalanceStats {
+  int checks = 0;
+  int rebalances = 0;
+  double last_lii = 0.0;
+  std::int64_t cells_reassigned = 0;       // cells whose owner changed
+  std::int64_t matching_operations = 0;    // KM inner ops (work accounting)
+};
+
+/// Computes lii from per-rank accumulated times over the evaluation window
+/// (Eq. 6). `total`, `migration`, `poisson` are per-rank seconds; the
+/// migration and Poisson components of the extreme ranks are subtracted.
+double load_imbalance_indicator(std::span<const double> total,
+                                std::span<const double> migration,
+                                std::span<const double> poisson);
+
+/// Remaps a fresh partition onto the previous owners: builds the
+/// (rank x part) shared-weight matrix from `keep_weight` per cell (e.g.
+/// particle counts) and solves maximum-weight matching; returns the
+/// relabeled owner array. `ops_out` reports KM work for cost accounting.
+std::vector<std::int32_t> km_remap(std::span<const std::int32_t> old_owner,
+                                   std::span<const std::int32_t> new_part,
+                                   std::span<const double> keep_weight,
+                                   int nranks, std::int64_t* ops_out = nullptr);
+
+/// Runs the re-decomposition half of Algorithm 1 (lines 6-12): computes the
+/// weighted load model, partitions the dual graph on the root, optionally
+/// KM-remaps, and charges/broadcasts everything on `rt` under `phase`.
+/// Returns the new owner array.
+std::vector<std::int32_t> redecompose(
+    par::Runtime& rt, const std::string& phase, const partition::Graph& dual,
+    std::span<const Vec3> cell_centroids,
+    std::span<const std::int64_t> neutral_counts,
+    std::span<const std::int64_t> charged_counts,
+    std::span<const std::int32_t> current_owner, const RebalanceConfig& cfg,
+    RebalanceStats& stats);
+
+}  // namespace dsmcpic::balance

@@ -1,0 +1,43 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+
+#include "core/solver.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::core {
+
+AutotuneResult autotune_balance(const SolverConfig& cfg,
+                                const ParallelConfig& par,
+                                const AutotuneOptions& options) {
+  DSMCPIC_CHECK(!options.periods.empty());
+  DSMCPIC_CHECK(!options.thresholds.empty());
+  DSMCPIC_CHECK(options.pilot_steps >= 1);
+
+  AutotuneResult result;
+  for (const int period : options.periods) {
+    for (const double threshold : options.thresholds) {
+      ParallelConfig trial_par = par;
+      trial_par.balance.enabled = true;
+      trial_par.balance.period = period;
+      trial_par.balance.threshold = threshold;
+      CoupledSolver solver(cfg, trial_par);
+      solver.run(options.pilot_steps);
+      AutotuneTrial trial;
+      trial.period = period;
+      trial.threshold = threshold;
+      trial.total_time = solver.runtime().total_time();
+      trial.rebalances = solver.rebalance_stats().rebalances;
+      result.trials.push_back(trial);
+    }
+  }
+  std::sort(result.trials.begin(), result.trials.end(),
+            [](const AutotuneTrial& a, const AutotuneTrial& b) {
+              return a.total_time < b.total_time;
+            });
+  result.best_period = result.trials.front().period;
+  result.best_threshold = result.trials.front().threshold;
+  return result;
+}
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,44 @@
+#pragma once
+// Auto-tuning of the load balancer's T (rebalance period) and Threshold
+// (lii trigger). The paper selects these "during a pilot study on a
+// different dataset using a sampling script" (Sec. VII-B) and cites
+// auto-tuning [34]; this implements that pilot: short trial runs over a
+// small parameter grid, picking the configuration with the lowest virtual
+// execution time.
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace dsmcpic::core {
+
+struct AutotuneOptions {
+  std::vector<int> periods{5, 10, 20};
+  std::vector<double> thresholds{1.5, 2.0, 3.0};
+  /// DSMC steps per pilot run (short, as in the paper's sampling script).
+  int pilot_steps = 20;
+};
+
+struct AutotuneTrial {
+  int period = 0;
+  double threshold = 0.0;
+  double total_time = 0.0;  // virtual seconds of the pilot
+  int rebalances = 0;
+};
+
+struct AutotuneResult {
+  int best_period = 0;
+  double best_threshold = 0.0;
+  std::vector<AutotuneTrial> trials;  // sorted by total_time ascending
+};
+
+/// Runs the pilot grid on (a copy of) the given configuration and returns
+/// the winning (T, Threshold) pair plus all trial timings. The caller
+/// typically runs this on a smaller dataset (as the paper does) and applies
+/// `best_*` to the production ParallelConfig.
+AutotuneResult autotune_balance(const SolverConfig& cfg,
+                                const ParallelConfig& par,
+                                const AutotuneOptions& options = {});
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,122 @@
+// Checkpoint / restart for the coupled solver. The state written here is
+// everything that influences the remainder of a run: the per-rank particle
+// stores, the grid ownership, the electric potential (warm-start state),
+// every RNG stream position (injector remainders/sequences, collision
+// carries/majorants), the sampler accumulators, the load balancer's window
+// and statistics, and the virtual-time accounting. Restoring into a solver
+// built with the identical configuration reproduces the uninterrupted run
+// bit-for-bit (verified by the CheckpointRestart tests).
+
+#include <cstring>
+#include <fstream>
+
+#include "core/solver.hpp"
+#include "support/serialize.hpp"
+
+namespace dsmcpic::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44534d435049434bULL;  // "DSMCPICK"
+constexpr std::uint32_t kVersion = 1;
+
+/// A cheap fingerprint of the configuration pieces that must match between
+/// the saving and restoring solver.
+std::uint64_t config_fingerprint(const SolverConfig& cfg,
+                                 const ParallelConfig& par,
+                                 std::int32_t num_cells) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(num_cells));
+  mix(static_cast<std::uint64_t>(par.nranks));
+  mix(cfg.seed);
+  mix(static_cast<std::uint64_t>(cfg.pic_substeps));
+  std::uint64_t bits;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&bits, &cfg.dt_dsmc, sizeof(bits));
+  mix(bits);
+  std::memcpy(&bits, &cfg.fnum_h, sizeof(bits));
+  mix(bits);
+  return h;
+}
+
+}  // namespace
+
+void CoupledSolver::save_checkpoint(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot open checkpoint file " << path);
+
+  io::write_pod(os, kMagic);
+  io::write_pod(os, kVersion);
+  io::write_pod(os, config_fingerprint(cfg_, pcfg_, coarse_.num_tets()));
+
+  io::write_pod(os, step_);
+  io::write_pod(os, steps_since_rebalance_);
+  io::write_vec(os, owner_);
+
+  io::write_pod<std::uint64_t>(os, stores_.size());
+  for (const auto& store : stores_) store.save(os);
+
+  io::write_vec(os, phi_global_);
+
+  inject_h_->save(os);
+  inject_hplus_->save(os);
+  collide_->save(os);
+  sampler_.save(os);
+
+  io::write_vec(os, prev_total_);
+  io::write_vec(os, prev_pm_);
+  io::write_vec(os, prev_poi_);
+  io::write_pod(os, lb_stats_);
+
+  rt_->save(os);
+}
+
+void CoupledSolver::restore_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSMCPIC_CHECK_MSG(is.good(), "cannot open checkpoint file " << path);
+
+  DSMCPIC_CHECK_MSG(io::read_pod<std::uint64_t>(is) == kMagic,
+                    "not a dsmcpic checkpoint: " << path);
+  DSMCPIC_CHECK_MSG(io::read_pod<std::uint32_t>(is) == kVersion,
+                    "unsupported checkpoint version");
+  DSMCPIC_CHECK_MSG(io::read_pod<std::uint64_t>(is) ==
+                        config_fingerprint(cfg_, pcfg_, coarse_.num_tets()),
+                    "checkpoint was written with a different configuration");
+
+  step_ = io::read_pod<int>(is);
+  steps_since_rebalance_ = io::read_pod<int>(is);
+  owner_ = io::read_vec<std::int32_t>(is);
+  DSMCPIC_CHECK(static_cast<std::int32_t>(owner_.size()) == coarse_.num_tets());
+
+  const auto nstores = io::read_pod<std::uint64_t>(is);
+  DSMCPIC_CHECK(nstores == stores_.size());
+  for (auto& store : stores_) store.load(is);
+  for (std::size_t r = 0; r < stores_.size(); ++r)
+    removed_[r].assign(stores_[r].size(), 0);
+
+  phi_global_ = io::read_vec<double>(is);
+  DSMCPIC_CHECK(phi_global_.size() ==
+                static_cast<std::size_t>(psys_->num_nodes()));
+
+  inject_h_->load(is);
+  inject_hplus_->load(is);
+  collide_->load(is);
+  sampler_.load(is);
+
+  prev_total_ = io::read_vec<double>(is);
+  prev_pm_ = io::read_vec<double>(is);
+  prev_poi_ = io::read_vec<double>(is);
+  lb_stats_ = io::read_pod<balance::RebalanceStats>(is);
+
+  rt_->load(is);
+
+  // Rebuild decomposition-dependent structures for the restored ownership
+  // (no cost charging: the restored clocks already contain everything).
+  rebuild_parallel_structures(phases::kInit, /*charge_costs=*/false);
+  history_.clear();
+}
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,137 @@
+#include "core/datasets.hpp"
+
+#include <cmath>
+
+#include "dsmc/maxwell.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::core {
+
+void SolverConfig::set_target_particles(std::int64_t target_h,
+                                        std::int64_t target_hplus) {
+  DSMCPIC_CHECK(target_h > 0 && target_hplus > 0);
+  // Quasi-steady population ~ injection-per-step * residence steps.
+  // Neutrals thermalize on the diffuse walls and linger ~4.5x the ballistic
+  // transit time (measured on this nozzle); ions are swept out by the inlet
+  // sheath field in roughly one transit.
+  // Cap the effective residence so the population reaches the target within
+  // a typical 60-100 step run even when wall thermalization makes the true
+  // residence much longer (slow-fill regimes).
+  const double transit_steps = nozzle.length / (drift_speed * dt_dsmc);
+  const double residence_h = std::clamp(4.5 * transit_steps, 1.0, 40.0);
+  const double residence_hplus = std::clamp(1.0 * transit_steps, 1.0, 25.0);
+  const double inlet_area =
+      M_PI * nozzle.inlet_radius() * nozzle.inlet_radius();
+
+  auto fnum_for = [&](double density, double mass, std::int64_t target,
+                      double residence) {
+    const double flux =
+        density *
+        dsmc::maxwellian_flux_factor(drift_speed, inlet_temperature, mass);
+    const double per_step = static_cast<double>(target) / residence;
+    return flux * inlet_area * dt_dsmc / per_step;
+  };
+  fnum_h = fnum_for(density_h, dsmc::constants::kHydrogenMass, target_h,
+                    residence_h);
+  fnum_hplus = fnum_for(density_hplus, dsmc::constants::kHydrogenMass,
+                        target_hplus, residence_hplus);
+}
+
+Dataset make_dataset(int id, double particle_scale) {
+  DSMCPIC_CHECK_MSG(id >= 1 && id <= 6, "dataset id must be 1..6");
+  DSMCPIC_CHECK(particle_scale > 0.0);
+
+  Dataset d;
+  d.id = id;
+  d.name = "Dataset " + std::to_string(id);
+
+  SolverConfig& c = d.config;
+  c.nozzle.radius = 0.01;
+  c.nozzle.length = 0.05;
+  c.nozzle.inlet_radius_frac = 0.4;
+  c.drift_speed = 1e4;
+  c.inlet_temperature = 300.0;
+  c.mover.wall_temperature = 300.0;
+  c.poisson.rel_tol = 1e-6;
+  c.poisson.max_iterations = 400;
+  // Moderate inlet potential: strong enough to accelerate ions out of the
+  // nozzle (the physics of the plume sheath) but weak enough that the H+
+  // population persists for several DSMC steps and loads the PIC side.
+  c.poisson_bcs.phi_inlet = 2.0;
+  c.poisson_bcs.phi_outlet = 0.0;
+  // Effective ionization threshold chosen so the channel fires at plume
+  // collision energies (see DESIGN.md: substitutes for the un-modelled hot
+  // arc source; 13.6 eV would silence the chemistry at 10 km/s drift).
+  c.chemistry.ionization_threshold = 0.15 * dsmc::constants::kElementaryCharge;
+  c.chemistry.ionization_probability = 0.02;
+  c.chemistry.recombination_rate = 2.6e-19;
+
+  // Per-dataset grid resolution (paper Table I: 55,576 / 583,386 /
+  // 2,242,948 fine PIC cells) and particle targets. Ratios between the
+  // datasets are preserved; absolute sizes are container-scaled.
+  std::int64_t target_h = 0, target_hplus = 0;
+  double paper_particles_h = 0.0;
+  double paper_fine_cells = 0.0;  // Table I "#PIC Cells"
+  switch (id) {
+    case 1:
+      c.nozzle.radial_divisions = 5;
+      c.nozzle.axial_divisions = 12;  // 1,800 coarse / 14,400 fine cells
+      c.density_h = 7e18;
+      c.density_hplus = 3e8;
+      c.dt_dsmc = 2e-7;  // paper's Dataset 1 timestep
+      c.pic_substeps = 2;
+      target_h = static_cast<std::int64_t>(2.0e4 * particle_scale);
+      target_hplus = static_cast<std::int64_t>(4.0e3 * particle_scale);
+      paper_particles_h = 1e7;  // validation-scale run
+      paper_fine_cells = 55576;
+      break;
+    case 2:
+    case 3:
+    case 4: {
+      c.nozzle.radial_divisions = 6;
+      c.nozzle.axial_divisions = 18;  // 3,888 coarse / 31,104 fine cells
+      c.density_h = 9.94e19;
+      c.density_hplus = 4.77e7;
+      // The drifting beam advances ~0.22 mm/step and wall-thermalized
+      // particles crawl even slower, so the inlet-side cloud keeps growing
+      // for the whole run — the paper's Fig. 5 regime (~90% of particles
+      // still on the inlet-side rank after 200 PIC steps).
+      c.dt_dsmc = 2.2e-8;
+      c.pic_substeps = 2;
+      // Paper: D2 = 1e9 H + 1e8 H+; D3 = 10x larger scaling factor (1e8 /
+      // 1e7 particles); D4 = 2x larger scaling factor (5e8 / 5e7).
+      const double shrink = (id == 2) ? 1.0 : (id == 3 ? 0.1 : 0.5);
+      target_h = static_cast<std::int64_t>(1.0e5 * shrink * particle_scale);
+      target_hplus = static_cast<std::int64_t>(1.0e4 * shrink * particle_scale);
+      paper_particles_h = 1e9 * shrink;
+      paper_fine_cells = 583386;
+      break;
+    }
+    case 5:
+    case 6: {
+      c.nozzle.radial_divisions = 8;
+      c.nozzle.axial_divisions = 24;  // 9,216 coarse / 73,728 fine cells
+      c.density_h = 1.4e20;
+      c.density_hplus = 6.0e7;
+      c.dt_dsmc = 2.0e-8;  // same slow-fill regime as Dataset 2
+      c.pic_substeps = 2;
+      const double shrink = (id == 5) ? 1.0 : 0.5;
+      target_h = static_cast<std::int64_t>(1.0e5 * shrink * particle_scale);
+      target_hplus = static_cast<std::int64_t>(1.0e4 * shrink * particle_scale);
+      paper_particles_h = 1e9 * shrink;
+      paper_fine_cells = 2242948;
+      break;
+    }
+    default:
+      break;
+  }
+  c.set_target_particles(target_h, target_hplus);
+  d.target_h = target_h;
+  d.target_hplus = target_hplus;
+  d.paper_particle_scale = paper_particles_h / static_cast<double>(target_h);
+  d.paper_grid_scale =
+      paper_fine_cells / static_cast<double>(c.nozzle.expected_tets() * 8);
+  return d;
+}
+
+}  // namespace dsmcpic::core

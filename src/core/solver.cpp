@@ -1,0 +1,415 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "pic/boris.hpp"
+#include "pic/deposit.hpp"
+#include "pic/field.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::core {
+
+double RunSummary::phase_max(const std::string& name) const {
+  for (std::size_t i = 0; i < phase_names.size(); ++i)
+    if (phase_names[i] == name) return phase_stats[i].busy_max;
+  return 0.0;
+}
+
+CoupledSolver::CoupledSolver(SolverConfig cfg, ParallelConfig par)
+    : cfg_(cfg),
+      pcfg_(par),
+      species_(dsmc::SpeciesTable::hydrogen(cfg.fnum_h, cfg.fnum_hplus)),
+      coarse_(mesh::make_cylinder_nozzle(cfg.nozzle)),
+      refined_(mesh::red_refine(coarse_, mesh::nozzle_classifier(cfg.nozzle))),
+      sampler_(coarse_, species_) {
+  init();
+}
+
+CoupledSolver::~CoupledSolver() = default;
+
+void CoupledSolver::init() {
+  const int nranks = pcfg_.nranks;
+  DSMCPIC_CHECK_MSG(nranks >= 1, "need at least one rank");
+
+  fine_ = std::make_unique<pic::FineGrid>(coarse_, refined_);
+
+  // Dual graph of the coarse grid (the only grid that is decomposed).
+  coarse_.dual_graph(dual_.xadj, dual_.adjncy);
+
+  // First decomposition: unweighted, as in the paper (Sec. IV-A).
+  if (nranks == 1) {
+    owner_.assign(static_cast<std::size_t>(coarse_.num_tets()), 0);
+  } else {
+    partition::PartitionOptions opt = pcfg_.balance.partition_options;
+    owner_ = partition::part_graph_kway(dual_, nranks, opt).part;
+  }
+
+  rt_ = std::make_unique<par::Runtime>(
+      nranks, par::Topology(pcfg_.profile, nranks, pcfg_.placement),
+      pcfg_.particle_scale, pcfg_.grid_scale);
+
+  psys_ = std::make_unique<pic::PoissonSystem>(refined_.mesh, cfg_.poisson_bcs);
+  phi_global_.assign(static_cast<std::size_t>(psys_->num_nodes()), 0.0);
+
+  stores_.resize(nranks);
+  removed_.assign(nranks, {});
+
+  inject_h_ = std::make_unique<dsmc::MaxwellianInjector>(
+      coarse_, mesh::BoundaryKind::kInlet,
+      dsmc::InjectionSpec{dsmc::kSpeciesH, cfg_.density_h,
+                          cfg_.inlet_temperature, cfg_.drift_speed},
+      cfg_.seed);
+  inject_hplus_ = std::make_unique<dsmc::MaxwellianInjector>(
+      coarse_, mesh::BoundaryKind::kInlet,
+      dsmc::InjectionSpec{dsmc::kSpeciesHPlus, cfg_.density_hplus,
+                          cfg_.inlet_temperature, cfg_.drift_speed},
+      cfg_.seed ^ 0x517cc1b727220a95ULL);
+
+  dsmc::MoverConfig mcfg = cfg_.mover;
+  mcfg.seed = cfg_.seed ^ 0x2545f4914f6cdd1dULL;
+  mover_ = std::make_unique<dsmc::Mover>(coarse_, species_, mcfg);
+
+  chemistry_ = std::make_unique<dsmc::Chemistry>(species_, cfg_.chemistry);
+  dsmc::CollisionConfig ccfg = cfg_.collisions;
+  ccfg.seed = cfg_.seed ^ 0x94d049bb133111ebULL;
+  collide_ =
+      std::make_unique<dsmc::CollisionKernel>(coarse_, species_, ccfg,
+                                              chemistry_.get());
+
+  rebuild_parallel_structures(phases::kInit, /*charge_costs=*/true);
+
+  // Initial electrostatic field (no charge yet: pure boundary solve).
+  StepDiagnostics dummy;
+  do_poisson_solve(dummy);
+
+  // Baseline for the lii window.
+  prev_total_ = rt_->busy_all();
+  prev_pm_ = rt_->busy_totals(std::array<std::string, 2>{
+      phases::kDsmcExchange, phases::kPicExchange});
+  prev_poi_ =
+      rt_->busy_totals(std::array<std::string, 1>{phases::kPoissonSolve});
+}
+
+void CoupledSolver::rebuild_parallel_structures(const std::string& phase,
+                                                bool charge_costs) {
+  const int nranks = pcfg_.nranks;
+  my_cells_.assign(nranks, {});
+  for (std::int32_t c = 0; c < coarse_.num_tets(); ++c)
+    my_cells_[owner_[c]].push_back(c);
+
+  nodex_ = std::make_unique<pic::NodeExchange>(*fine_, owner_, nranks);
+  linalg::DistLayout layout =
+      linalg::DistLayout::build(nranks, nodex_->node_owner(), psys_->matrix());
+  dmat_ = linalg::DistMatrix::build(psys_->matrix(), std::move(layout));
+
+  // Warm-start potential from the driver-side mirror.
+  x_.assign(nranks, {});
+  phi_local_.assign(nranks, {});
+  for (int r = 0; r < nranks; ++r) {
+    const auto& owned = dmat_.layout.owned[r];
+    x_[r].resize(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i)
+      x_[r][i] = phi_global_[owned[i]];
+    const auto& nodes = nodex_->rank_nodes(r);
+    phi_local_[r].resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      phi_local_[r][i] = phi_global_[nodes[i]];
+  }
+
+  if (charge_costs) {
+    rt_->superstep(phase, [&](par::Comm& c) {
+      // Local FEM block extraction: 8 fine elements per owned coarse cell.
+      c.charge(par::WorkKind::kAssemble,
+               8.0 * static_cast<double>(my_cells_[c.rank()].size()));
+    });
+    // Redistributing the potential to the new owners.
+    rt_->charge_bcast(phase, 0, 8.0 * static_cast<double>(phi_global_.size()));
+  }
+}
+
+void CoupledSolver::do_inject(StepDiagnostics& diag) {
+  std::int64_t injected_total = 0;
+  if (cfg_.inject_round_robin) {
+    inject_h_->begin_step(species_, cfg_.dt_dsmc, step_);
+    inject_hplus_->begin_step(species_, cfg_.dt_dsmc, step_);
+  }
+  rt_->superstep(phases::kInject, [&](par::Comm& c) {
+    const int r = c.rank();
+    std::int64_t n_h = 0, n_hp = 0;
+    if (cfg_.inject_round_robin) {
+      n_h = inject_h_->inject_shard(stores_[r], species_, r, pcfg_.nranks);
+      n_hp = inject_hplus_->inject_shard(stores_[r], species_, r, pcfg_.nranks);
+    } else {
+      n_h = inject_h_->inject(stores_[r], species_, cfg_.dt_dsmc, step_,
+                              owner_, r);
+      n_hp = inject_hplus_->inject(stores_[r], species_, cfg_.dt_dsmc, step_,
+                                   owner_, r);
+    }
+    removed_[r].resize(stores_[r].size(), 0);
+    c.charge(par::WorkKind::kInject, static_cast<double>(n_h + n_hp));
+    injected_total += n_h + n_hp;
+  });
+  diag.injected = injected_total;
+}
+
+void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
+  rt_->superstep(phases::kDsmcMove, [&](par::Comm& c) {
+    const int r = c.rank();
+    const dsmc::MoveStats st = mover_->move_all(
+        stores_[r], cfg_.dt_dsmc, step_, removed_[r],
+        dsmc::MoveFilter::kNeutralOnly);
+    c.charge(par::WorkKind::kMove, static_cast<double>(st.moved));
+    c.charge(par::WorkKind::kWalkStep, static_cast<double>(st.walk_steps));
+  });
+  diag.migrated_dsmc =
+      exchange::exchange_particles(*rt_, phases::kDsmcExchange, pcfg_.strategy,
+                                   stores_, removed_, owner_)
+          .migrated;
+}
+
+void CoupledSolver::do_reindex() {
+  std::vector<std::int64_t> counts(pcfg_.nranks, 0);
+  for (int r = 0; r < pcfg_.nranks; ++r)
+    counts[r] = static_cast<std::int64_t>(stores_[r].size());
+  const std::vector<std::int64_t> offsets =
+      rt_->exscan_sum(phases::kReindex, counts);
+  rt_->superstep(phases::kReindex, [&](par::Comm& c) {
+    const int r = c.rank();
+    auto ids = stores_[r].ids();
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      ids[i] = offsets[r] + static_cast<std::int64_t>(i);
+    c.charge(par::WorkKind::kReindex, static_cast<double>(ids.size()));
+  });
+}
+
+void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
+  rt_->superstep(phases::kColliReact, [&](par::Comm& c) {
+    const int r = c.rank();
+    const dsmc::CellIndex index(stores_[r], coarse_.num_tets());
+    const dsmc::CollisionStats cs = collide_->collide_cells(
+        stores_[r], index, my_cells_[r], cfg_.dt_dsmc, step_);
+    removed_[r].resize(stores_[r].size(), 0);  // chemistry appended ions
+    const dsmc::ChemistryStats rs =
+        chemistry_->recombine(stores_[r], index, my_cells_[r], coarse_,
+                              cfg_.dt_dsmc, step_, removed_[r]);
+    c.charge(par::WorkKind::kCollide, static_cast<double>(cs.candidates));
+    c.charge(par::WorkKind::kReact,
+             static_cast<double>(cs.ionizations + rs.recombinations));
+    diag.collisions += cs.collisions;
+    diag.ionizations += cs.ionizations;
+    diag.recombinations += rs.recombinations;
+  });
+}
+
+void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
+  const double dt = cfg_.dt_pic();
+  const int pic_step = step_ * cfg_.pic_substeps + substep;
+  rt_->superstep(phases::kPicMove, [&](par::Comm& c) {
+    const int r = c.rank();
+    auto& store = stores_[r];
+    auto pos = store.positions();
+    auto vel = store.velocities();
+    auto cells = store.cells();
+    auto spec = store.species();
+    auto ids = store.ids();
+    dsmc::MoveStats st;
+    std::int64_t pushed = 0;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      if (removed_[r][i]) continue;
+      const dsmc::Species& sp = species_[spec[i]];
+      if (!sp.charged()) continue;
+      // Gather E from the previous timestep's field (paper Sec. III-B).
+      const std::int32_t fc = fine_->locate(cells[i], pos[i]);
+      if (fc < 0) {
+        removed_[r][i] = 1;
+        continue;
+      }
+      const Vec3 e = pic::efield_in_cell(*fine_, fc, nodex_->rank_nodes(r),
+                                         phi_local_[r]);
+      vel[i] = pic::boris_push(vel[i], e, cfg_.magnetic_field,
+                               sp.charge / sp.mass, dt);
+      ++pushed;
+      if (!mover_->move_one(pos[i], vel[i], cells[i], spec[i], ids[i], dt,
+                            pic_step, st))
+        removed_[r][i] = 1;
+    }
+    c.charge(par::WorkKind::kFieldGather, static_cast<double>(pushed));
+    c.charge(par::WorkKind::kBorisPush, static_cast<double>(pushed));
+    c.charge(par::WorkKind::kMove, static_cast<double>(st.moved));
+    c.charge(par::WorkKind::kWalkStep, static_cast<double>(st.walk_steps));
+  });
+  diag.migrated_pic +=
+      exchange::exchange_particles(*rt_, phases::kPicExchange, pcfg_.strategy,
+                                   stores_, removed_, owner_)
+          .migrated;
+  do_poisson_solve(diag);
+}
+
+void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
+  const std::string phase = phases::kPoissonSolve;
+  auto node_charge = nodex_->make_values();
+
+  rt_->superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    const pic::DepositStats st =
+        pic::deposit_charge(stores_[r], *fine_, species_,
+                            nodex_->rank_nodes(r), removed_[r], node_charge[r]);
+    c.charge(par::WorkKind::kDeposit, static_cast<double>(st.deposited));
+  });
+  nodex_->reduce_to_owners(*rt_, phase, node_charge);
+
+  // Per-rank RHS over owned rows.
+  linalg::DistVector b(pcfg_.nranks);
+  rt_->superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    const auto& owned = dmat_.layout.owned[r];
+    b[r].resize(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      const std::int32_t li = nodex_->local_index(r, owned[i]);
+      DSMCPIC_CHECK(li >= 0);
+      b[r][i] = psys_->rhs_at(owned[i], node_charge[r][li]);
+    }
+    c.charge(par::WorkKind::kVecFlop, static_cast<double>(owned.size()));
+  });
+
+  // PETSc-style zero initial guess unless warm starts were requested.
+  if (!cfg_.poisson.warm_start) {
+    for (auto& xr : x_) std::fill(xr.begin(), xr.end(), 0.0);
+  }
+  const linalg::SolveResult res =
+      linalg::dist_cg(*rt_, phase, dmat_, b, x_, cfg_.poisson);
+  diag.poisson_iterations = res.iterations;
+
+  // Refresh the driver mirror and the per-rank nodal potentials.
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    const auto& owned = dmat_.layout.owned[r];
+    for (std::size_t i = 0; i < owned.size(); ++i)
+      phi_global_[owned[i]] = x_[r][i];
+  }
+  rt_->superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    const auto& owned = dmat_.layout.owned[r];
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      const std::int32_t li = nodex_->local_index(r, owned[i]);
+      phi_local_[r][li] = x_[r][i];
+    }
+  });
+  nodex_->broadcast_from_owners(*rt_, phase, phi_local_);
+}
+
+void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
+  if (pcfg_.nranks <= 1) return;
+  ++steps_since_rebalance_;
+
+  // Eq. (6) inputs over the window since the previous step: per-rank total
+  // busy time minus the particle-migration and Poisson components.
+  const std::vector<double> cur_total = rt_->busy_all();
+  const std::vector<double> cur_pm = rt_->busy_totals(std::array<std::string, 2>{
+      phases::kDsmcExchange, phases::kPicExchange});
+  const std::vector<double> cur_poi =
+      rt_->busy_totals(std::array<std::string, 1>{phases::kPoissonSolve});
+  std::vector<double> wt(pcfg_.nranks), wpm(pcfg_.nranks), wpoi(pcfg_.nranks);
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    wt[r] = cur_total[r] - prev_total_[r];
+    wpm[r] = cur_pm[r] - prev_pm_[r];
+    wpoi[r] = cur_poi[r] - prev_poi_[r];
+  }
+  prev_total_ = cur_total;
+  prev_pm_ = cur_pm;
+  prev_poi_ = cur_poi;
+
+  const double lii = balance::load_imbalance_indicator(wt, wpm, wpoi);
+  diag.lii = lii;
+  lb_stats_.last_lii = lii;
+  ++lb_stats_.checks;
+
+  const balance::RebalanceConfig& lb = pcfg_.balance;
+  if (!lb.enabled) return;
+  // Measuring lii requires an allgather of the per-rank timings.
+  rt_->allgather(phases::kRebalance, wt);
+  if (steps_since_rebalance_ < lb.period) return;
+  if (!(lii > lb.threshold)) return;
+
+  // Per-cell particle counts for the weighted load model.
+  std::vector<std::int64_t> neutrals(coarse_.num_tets(), 0);
+  std::vector<std::int64_t> charged(coarse_.num_tets(), 0);
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    const auto cells = stores_[r].cells();
+    const auto spec = stores_[r].species();
+    for (std::size_t i = 0; i < stores_[r].size(); ++i) {
+      if (removed_[r][i]) continue;
+      if (species_[spec[i]].charged())
+        ++charged[cells[i]];
+      else
+        ++neutrals[cells[i]];
+    }
+  }
+
+  const std::vector<std::int32_t> new_owner = balance::redecompose(
+      *rt_, phases::kRebalance, dual_, coarse_.centroids(), neutrals, charged,
+      owner_, lb, lb_stats_);
+
+  // Work redistribution: migrate particles to their new owners.
+  exchange::exchange_particles(*rt_, phases::kRebalance, pcfg_.strategy,
+                               stores_, removed_, new_owner);
+  owner_ = new_owner;
+  rebuild_parallel_structures(phases::kRebalance, /*charge_costs=*/true);
+  steps_since_rebalance_ = 0;
+  diag.rebalanced = true;
+}
+
+StepDiagnostics CoupledSolver::step() {
+  StepDiagnostics diag;
+  diag.dsmc_step = step_;
+
+  do_inject(diag);
+  do_dsmc_move(diag);
+  do_reindex();
+  do_colli_react(diag);
+  for (int k = 0; k < cfg_.pic_substeps; ++k) do_pic_substep(k, diag);
+
+  sampler_.begin_snapshot();
+  for (const auto& store : stores_) sampler_.accumulate(store);
+  maybe_rebalance(diag);
+
+  diag.particles_per_rank = particles_per_rank();
+  for (const auto& store : stores_) {
+    diag.total_h += store.count_species(dsmc::kSpeciesH);
+    diag.total_hplus += store.count_species(dsmc::kSpeciesHPlus);
+  }
+
+  ++step_;
+  history_.push_back(diag);
+  return diag;
+}
+
+void CoupledSolver::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+std::vector<std::int64_t> CoupledSolver::particles_per_rank() const {
+  std::vector<std::int64_t> out(pcfg_.nranks, 0);
+  for (int r = 0; r < pcfg_.nranks; ++r)
+    out[r] = static_cast<std::int64_t>(stores_[r].size());
+  return out;
+}
+
+std::int64_t CoupledSolver::total_particles() const {
+  std::int64_t n = 0;
+  for (const auto& s : stores_) n += static_cast<std::int64_t>(s.size());
+  return n;
+}
+
+RunSummary CoupledSolver::summary() const {
+  RunSummary s;
+  s.total_time = rt_->total_time();
+  s.phase_names = rt_->phases();
+  for (const auto& p : s.phase_names) s.phase_stats.push_back(rt_->phase_stats(p));
+  s.rebalance = lb_stats_;
+  s.final_particles = total_particles();
+  return s;
+}
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,158 @@
+#pragma once
+// The coupled DSMC/PIC solver — the paper's Fig. 1 workflow on the virtual
+// distributed machine:
+//
+//   Init -> per DSMC step:
+//     Inject -> DSMC_Move -> DSMC_Exchange -> Reindex -> Colli_React
+//       -> { PIC_Move -> PIC_Exchange -> Poisson_Solve } x pic_substeps
+//       -> Rebalance (dynamic load balancer, Algorithm 1)
+//
+// Only the coarse grid is decomposed (the fine PIC grid is nested, Fig. 2);
+// each rank simulates the particles living in its coarse cells and the
+// Poisson rows of its owned fine-grid nodes. Setting nranks = 1 yields the
+// serial reference implementation used by the validation experiment.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "core/config.hpp"
+#include "dsmc/collide.hpp"
+#include "dsmc/injector.hpp"
+#include "dsmc/mover.hpp"
+#include "dsmc/sampling.hpp"
+#include "linalg/dist.hpp"
+#include "mesh/refine.hpp"
+#include "par/runtime.hpp"
+#include "pic/fine_grid.hpp"
+#include "pic/node_exchange.hpp"
+#include "pic/poisson.hpp"
+
+namespace dsmcpic::core {
+
+/// Per-DSMC-step diagnostics (drives Fig. 5 / Fig. 9-style outputs).
+struct StepDiagnostics {
+  int dsmc_step = 0;
+  std::vector<std::int64_t> particles_per_rank;
+  std::int64_t total_h = 0;
+  std::int64_t total_hplus = 0;
+  std::int64_t injected = 0;
+  std::int64_t migrated_dsmc = 0;
+  std::int64_t migrated_pic = 0;
+  std::int64_t collisions = 0;
+  std::int64_t ionizations = 0;
+  std::int64_t recombinations = 0;
+  int poisson_iterations = 0;  // last PIC substep
+  double lii = 0.0;            // load imbalance indicator this step
+  bool rebalanced = false;
+};
+
+/// End-of-run accounting used by the bench harness.
+struct RunSummary {
+  double total_time = 0.0;  // end-to-end virtual seconds
+  std::vector<std::string> phase_names;
+  std::vector<par::PhaseStats> phase_stats;  // parallel to phase_names
+  balance::RebalanceStats rebalance;
+  std::int64_t final_particles = 0;
+
+  double phase_max(const std::string& name) const;
+};
+
+class CoupledSolver {
+ public:
+  CoupledSolver(SolverConfig cfg, ParallelConfig par);
+  ~CoupledSolver();
+
+  /// Runs `n` DSMC steps (each containing cfg.pic_substeps PIC steps).
+  void run(int n);
+  /// One DSMC step; diagnostics are also appended to history().
+  StepDiagnostics step();
+
+  // ---- inspection --------------------------------------------------------
+  par::Runtime& runtime() { return *rt_; }
+  const par::Runtime& runtime() const { return *rt_; }
+  const SolverConfig& config() const { return cfg_; }
+  const ParallelConfig& parallel_config() const { return pcfg_; }
+  const mesh::TetMesh& coarse_grid() const { return coarse_; }
+  const pic::FineGrid& fine_grid() const { return *fine_; }
+  const dsmc::SpeciesTable& species() const { return species_; }
+  const dsmc::CellSampler& sampler() const { return sampler_; }
+  std::span<const std::int32_t> owner() const { return owner_; }
+  int current_step() const { return step_; }
+  const std::vector<StepDiagnostics>& history() const { return history_; }
+  const balance::RebalanceStats& rebalance_stats() const { return lb_stats_; }
+
+  std::vector<std::int64_t> particles_per_rank() const;
+  std::int64_t total_particles() const;
+  /// Global electric potential on fine-grid nodes (last solve).
+  const std::vector<double>& potential() const { return phi_global_; }
+
+  RunSummary summary() const;
+
+  // ---- checkpoint / restart ----------------------------------------------
+  /// Writes the complete simulation state (particles, potential, ownership,
+  /// RNG stream positions, accounting clocks) to a binary file. Call
+  /// between steps.
+  void save_checkpoint(const std::string& path) const;
+  /// Restores state saved by save_checkpoint into a solver constructed with
+  /// the SAME SolverConfig/ParallelConfig (verified by fingerprint).
+  /// Continuing the run reproduces the uninterrupted run exactly.
+  void restore_checkpoint(const std::string& path);
+
+ private:
+  void init();
+  /// (Re)builds rank-local cell lists, node exchange, and the distributed
+  /// Poisson operator for the current owner_ map; charges setup work under
+  /// `phase` when charge_costs is true.
+  void rebuild_parallel_structures(const std::string& phase, bool charge_costs);
+
+  void do_inject(StepDiagnostics& diag);
+  void do_dsmc_move(StepDiagnostics& diag);
+  void do_reindex();
+  void do_colli_react(StepDiagnostics& diag);
+  void do_pic_substep(int substep, StepDiagnostics& diag);
+  void do_poisson_solve(StepDiagnostics& diag);
+  void maybe_rebalance(StepDiagnostics& diag);
+
+  SolverConfig cfg_;
+  ParallelConfig pcfg_;
+
+  dsmc::SpeciesTable species_;
+  mesh::TetMesh coarse_;
+  mesh::RefinedMesh refined_;
+  std::unique_ptr<pic::FineGrid> fine_;
+  partition::Graph dual_;
+
+  std::unique_ptr<par::Runtime> rt_;
+  std::vector<std::int32_t> owner_;             // coarse cell -> rank
+  std::vector<std::vector<std::int32_t>> my_cells_;  // per rank
+
+  std::vector<dsmc::ParticleStore> stores_;          // per rank
+  std::vector<std::vector<std::uint8_t>> removed_;   // per rank flags
+
+  std::unique_ptr<dsmc::MaxwellianInjector> inject_h_;
+  std::unique_ptr<dsmc::MaxwellianInjector> inject_hplus_;
+  std::unique_ptr<dsmc::Mover> mover_;
+  std::unique_ptr<dsmc::Chemistry> chemistry_;
+  std::unique_ptr<dsmc::CollisionKernel> collide_;
+
+  std::unique_ptr<pic::PoissonSystem> psys_;
+  std::unique_ptr<pic::NodeExchange> nodex_;
+  linalg::DistMatrix dmat_;
+  linalg::DistVector x_;                        // per-rank owned phi (warm)
+  std::vector<std::vector<double>> phi_local_;  // per-rank, rank_nodes order
+  std::vector<double> phi_global_;              // driver-side mirror
+
+  dsmc::CellSampler sampler_;
+
+  int step_ = 0;
+  int steps_since_rebalance_ = 0;
+  std::vector<double> prev_total_, prev_pm_, prev_poi_;  // lii window
+  balance::RebalanceStats lb_stats_;
+  std::vector<StepDiagnostics> history_;
+};
+
+}  // namespace dsmcpic::core

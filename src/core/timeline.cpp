@@ -1,0 +1,78 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/solver.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::core {
+
+PhaseTimeline::PhaseTimeline(const CoupledSolver& solver) : solver_(&solver) {
+  prev_ = snapshot();
+}
+
+std::map<std::string, double> PhaseTimeline::snapshot() const {
+  std::map<std::string, double> out;
+  const par::Runtime& rt = solver_->runtime();
+  for (const auto& name : rt.phases())
+    out[name] = rt.phase_stats(name).busy_max;
+  return out;
+}
+
+void PhaseTimeline::record_step() {
+  const auto cur = snapshot();
+  std::map<std::string, double> delta;
+  for (const auto& [name, value] : cur) {
+    const auto it = prev_.find(name);
+    const double d = value - (it == prev_.end() ? 0.0 : it->second);
+    if (d > 0.0) delta[name] = d;
+    if (std::find(phase_names_.begin(), phase_names_.end(), name) ==
+        phase_names_.end())
+      phase_names_.push_back(name);
+  }
+  steps_.push_back(std::move(delta));
+  prev_ = cur;
+}
+
+double PhaseTimeline::at(std::size_t step, const std::string& phase) const {
+  DSMCPIC_CHECK(step < steps_.size());
+  const auto it = steps_[step].find(phase);
+  return it == steps_[step].end() ? 0.0 : it->second;
+}
+
+void PhaseTimeline::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "step";
+  for (const auto& p : phase_names_) os << "," << p;
+  os << "\n";
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    os << s;
+    for (const auto& p : phase_names_) os << "," << at(s, p);
+    os << "\n";
+  }
+}
+
+void PhaseTimeline::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "[";
+  bool first = true;
+  double cursor_us = 0.0;
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    for (const auto& p : phase_names_) {
+      const double dur_us = at(s, p) * 1e6;
+      if (dur_us <= 0.0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"name\": \"" << p << "\", \"cat\": \"phase\", \"ph\": \"X\""
+         << ", \"ts\": " << cursor_us << ", \"dur\": " << dur_us
+         << ", \"pid\": 0, \"tid\": 0, \"args\": {\"dsmc_step\": " << s << "}}";
+      cursor_us += dur_us;
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,46 @@
+#pragma once
+// Per-step phase timeline: records how much virtual time each workflow
+// phase consumed in every DSMC step (max over ranks), and exports it as CSV
+// or as a Chrome-tracing JSON (open chrome://tracing or Perfetto and drop
+// the file in) for visual inspection of the solver's behaviour — e.g.
+// watching the Rebalance spikes and the DSMC_Move imbalance shrink.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsmcpic::core {
+
+class CoupledSolver;
+
+class PhaseTimeline {
+ public:
+  /// Attaches to a solver; call record_step() after every solver.step().
+  explicit PhaseTimeline(const CoupledSolver& solver);
+
+  /// Records the phase-time deltas since the previous record (or since
+  /// attachment, for the first call).
+  void record_step();
+
+  std::size_t num_steps() const { return steps_.size(); }
+  /// Phase time (virtual seconds, max over ranks) in a recorded step;
+  /// 0 when the phase did not run.
+  double at(std::size_t step, const std::string& phase) const;
+  /// All phase names seen so far, in first-use order.
+  const std::vector<std::string>& phases() const { return phase_names_; }
+
+  /// step,phase1,phase2,... with one row per recorded step.
+  void write_csv(const std::string& path) const;
+  /// Chrome-tracing "X" (complete) events, one lane, phases back to back.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::map<std::string, double> snapshot() const;
+
+  const CoupledSolver* solver_;
+  std::vector<std::string> phase_names_;
+  std::map<std::string, double> prev_;
+  std::vector<std::map<std::string, double>> steps_;
+};
+
+}  // namespace dsmcpic::core

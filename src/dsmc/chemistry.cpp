@@ -1,0 +1,91 @@
+#include "dsmc/chemistry.hpp"
+
+#include <cmath>
+
+namespace dsmcpic::dsmc {
+
+bool Chemistry::try_ionization(Rng& rng, ParticleStore& store, std::size_t i,
+                               std::size_t j, double e_rel,
+                               ChemistryStats& stats) {
+  if (!cfg_.enabled) return false;
+  const auto species = store.species();
+  if (species[i] != kSpeciesH || species[j] != kSpeciesH) return false;
+  if (e_rel <= cfg_.ionization_threshold) return false;
+  if (rng.uniform() >= cfg_.ionization_probability) return false;
+
+  // Spawn one H+ super-particle at collider i's location. Its velocity is
+  // collider i's velocity with an isotropic thermal-scale perturbation (the
+  // freed electron carries away the threshold energy; we do not track it).
+  ParticleRecord ion;
+  ion.position = store.positions()[i];
+  ion.velocity = store.velocities()[i];
+  ion.species = kSpeciesHPlus;
+  ion.cell = store.cells()[i];
+  // Random id: ids only need uniqueness until the next Reindex renumbering.
+  ion.id = static_cast<std::int64_t>(rng.next_u64() >> 1);
+  store.add(ion);
+  ++stats.ionizations;
+  return true;
+}
+
+bool Chemistry::try_charge_exchange(Rng& rng, ParticleStore& store,
+                                    std::size_t i, std::size_t j,
+                                    ChemistryStats& stats) {
+  if (!cfg_.enabled) return false;
+  auto species = store.species();
+  // Order the pair as (ion, neutral).
+  std::size_t ion = i, neutral = j;
+  if (species[ion] != kSpeciesHPlus) std::swap(ion, neutral);
+  if (species[ion] != kSpeciesHPlus || species[neutral] != kSpeciesH)
+    return false;
+  if (rng.uniform() >= cfg_.cex_probability) return false;
+
+  // Electron hop: the ion super-particle now represents the (slow) ions
+  // created from the neutral population, so it adopts the neutral's
+  // velocity. The neutral super-particle is left unchanged — the fast
+  // neutrals created are a negligible fraction of its (much larger) weight.
+  store.velocities()[ion] = store.velocities()[neutral];
+  ++stats.charge_exchanges;
+  return true;
+}
+
+ChemistryStats Chemistry::recombine(ParticleStore& store, const CellIndex& index,
+                                    std::span<const std::int32_t> my_cells,
+                                    const mesh::TetMesh& grid, double dt,
+                                    int step, std::span<std::uint8_t> removed) {
+  ChemistryStats stats;
+  if (!cfg_.enabled) return stats;
+  const Species& ion = (*table_)[kSpeciesHPlus];
+  const Species& neutral = (*table_)[kSpeciesH];
+  const double weight_ratio = ion.fnum / neutral.fnum;  // << 1 typically
+
+  auto species = store.species();
+  for (std::int32_t cell : my_cells) {
+    const auto parts = index.particles_in(cell);
+    // Electron density from quasi-neutrality: n_e = n_ion.
+    std::int64_t n_ion_sim = 0;
+    for (std::int32_t p : parts)
+      if (species[p] == kSpeciesHPlus && !removed[p]) ++n_ion_sim;
+    if (n_ion_sim == 0) continue;
+    const double n_e =
+        static_cast<double>(n_ion_sim) * ion.fnum / grid.volume(cell);
+    const double p_rec = 1.0 - std::exp(-cfg_.recombination_rate * n_e * dt);
+    if (p_rec <= 0.0) continue;
+
+    Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
+            static_cast<std::uint64_t>(step));
+    for (std::int32_t p : parts) {
+      if (species[p] != kSpeciesHPlus || removed[p]) continue;
+      if (rng.uniform() >= p_rec) continue;
+      ++stats.recombinations;
+      if (rng.uniform() < weight_ratio) {
+        species[p] = kSpeciesH;  // weight lottery won: becomes a neutral
+      } else {
+        removed[p] = 1;  // absorbed into the (much heavier) H population
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dsmcpic::dsmc

@@ -1,0 +1,132 @@
+#include "dsmc/collide.hpp"
+
+#include "support/serialize.hpp"
+
+#include <cmath>
+
+namespace dsmcpic::dsmc {
+
+double vhs_cross_section(const Species& a, const Species& b, double c_r) {
+  // Bird's VHS: sigma = pi d_ref^2 * [2 kB T_ref / (m_r c_r^2)]^(omega-1/2)
+  //                      / Gamma(5/2 - omega)
+  // with pair-averaged reference diameter, omega and T_ref.
+  const double d = 0.5 * (a.diameter + b.diameter);
+  const double omega = 0.5 * (a.omega + b.omega);
+  const double t_ref = 0.5 * (a.t_ref + b.t_ref);
+  const double m_r = a.mass * b.mass / (a.mass + b.mass);
+  const double c2 = std::max(c_r * c_r, 1e-30);
+  const double ratio = 2.0 * constants::kBoltzmann * t_ref / (m_r * c2);
+  return M_PI * d * d * std::pow(ratio, omega - 0.5) /
+         std::tgamma(2.5 - omega);
+}
+
+CollisionKernel::CollisionKernel(const mesh::TetMesh& grid,
+                                 const SpeciesTable& table, CollisionConfig cfg,
+                                 Chemistry* chemistry)
+    : grid_(&grid),
+      table_(&table),
+      cfg_(cfg),
+      chemistry_(chemistry),
+      sigma_cr_max_(static_cast<std::size_t>(grid.num_tets()),
+                    cfg.initial_sigma_cr_max),
+      candidate_carry_(static_cast<std::size_t>(grid.num_tets()), 0.0) {}
+
+CollisionStats CollisionKernel::collide_cells(
+    ParticleStore& store, const CellIndex& index,
+    std::span<const std::int32_t> my_cells, double dt, int step) {
+  CollisionStats stats;
+  ChemistryStats chem_stats;
+
+  for (std::int32_t cell : my_cells) {
+    const auto parts = index.particles_in(cell);
+    const auto np = static_cast<std::int64_t>(parts.size());
+    if (np < 2) continue;
+
+    // Mean scaling factor of the particles in the cell (mixed-species NTC
+    // simplification; see DESIGN.md).
+    double fnum_sum = 0.0;
+    for (std::int32_t p : parts)
+      fnum_sum += (*table_)[store.species()[p]].fnum;
+    const double fnum_mean = fnum_sum / static_cast<double>(np);
+
+    const double volume = grid_->volume(cell);
+    double& majorant = sigma_cr_max_[cell];
+
+    const double expected =
+        0.5 * static_cast<double>(np) * static_cast<double>(np - 1) *
+            fnum_mean * majorant * dt / volume +
+        candidate_carry_[cell];
+    const auto n_cand = static_cast<std::int64_t>(expected);
+    candidate_carry_[cell] = expected - static_cast<double>(n_cand);
+    if (n_cand <= 0) continue;
+
+    // Per-(cell, step) stream: collision sequence is independent of which
+    // rank owns the cell.
+    Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
+            static_cast<std::uint64_t>(step));
+
+    for (std::int64_t k = 0; k < n_cand; ++k) {
+      ++stats.candidates;
+      const auto pi = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
+      auto pj = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
+      if (pi == pj) continue;
+
+      const auto si = store.species()[pi];
+      const auto sj = store.species()[pj];
+      const Vec3 vi = store.velocities()[pi];
+      const Vec3 vj = store.velocities()[pj];
+      const Vec3 rel = vi - vj;
+      const double c_r = rel.norm();
+      if (c_r <= 0.0) continue;
+
+      const double sigma_cr =
+          vhs_cross_section((*table_)[si], (*table_)[sj], c_r) * c_r;
+      if (sigma_cr > majorant) majorant = sigma_cr;  // adapt the majorant
+      if (rng.uniform() * majorant > sigma_cr) continue;  // rejected
+
+      ++stats.collisions;
+      const double ma = (*table_)[si].mass;
+      const double mb = (*table_)[sj].mass;
+      const double m_r = ma * mb / (ma + mb);
+      const double e_rel = 0.5 * m_r * c_r * c_r;
+
+      if (chemistry_ &&
+          chemistry_->try_ionization(rng, store, pi, pj, e_rel, chem_stats)) {
+        ++stats.ionizations;
+        // Elastic scatter still applies to the colliding pair below.
+      }
+      if (chemistry_ && si != sj &&
+          chemistry_->try_charge_exchange(rng, store, pi, pj, chem_stats)) {
+        ++stats.charge_exchanges;
+        continue;  // CEX replaces the elastic scatter for this pair
+      }
+
+      // Isotropic VHS scatter in the centre-of-mass frame.
+      const Vec3 v_cm = (vi * ma + vj * mb) / (ma + mb);
+      const double cos_t = 2.0 * rng.uniform() - 1.0;
+      const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+      const double phi = 2.0 * M_PI * rng.uniform();
+      const Vec3 dir{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
+      store.velocities()[pi] = v_cm + dir * (c_r * mb / (ma + mb));
+      store.velocities()[pj] = v_cm - dir * (c_r * ma / (ma + mb));
+    }
+  }
+  stats.ionizations = chem_stats.ionizations;
+  return stats;
+}
+
+void CollisionKernel::save(std::ostream& os) const {
+  io::write_vec(os, sigma_cr_max_);
+  io::write_vec(os, candidate_carry_);
+}
+
+void CollisionKernel::load(std::istream& is) {
+  sigma_cr_max_ = io::read_vec<double>(is);
+  candidate_carry_ = io::read_vec<double>(is);
+  DSMCPIC_CHECK_MSG(
+      sigma_cr_max_.size() == static_cast<std::size_t>(grid_->num_tets()) &&
+          candidate_carry_.size() == sigma_cr_max_.size(),
+      "checkpoint cell count mismatch");
+}
+
+}  // namespace dsmcpic::dsmc

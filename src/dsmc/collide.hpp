@@ -1,0 +1,65 @@
+#pragma once
+// Binary collisions with Bird's No-Time-Counter (NTC) pair selection and the
+// Variable Hard Sphere (VHS) cross-section model (paper Sec. III-B,
+// Colli_React; Bird 1994). Reactions are delegated to the Chemistry hook on
+// the accept path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "dsmc/chemistry.hpp"
+#include "dsmc/particles.hpp"
+#include "dsmc/species.hpp"
+#include "mesh/tetmesh.hpp"
+#include "support/rng.hpp"
+
+namespace dsmcpic::dsmc {
+
+struct CollisionConfig {
+  std::uint64_t seed = 0xb5297a4dULL;
+  /// Initial per-cell majorant (sigma * c_r)_max [m^3/s]; adapts upward.
+  double initial_sigma_cr_max = 1e-15;
+};
+
+struct CollisionStats {
+  std::int64_t candidates = 0;  // NTC candidate pairs examined
+  std::int64_t collisions = 0;  // accepted (elastic or reactive)
+  std::int64_t ionizations = 0;
+  std::int64_t charge_exchanges = 0;  // CEX events (H+/H identity swaps)
+};
+
+/// VHS total cross section for a colliding pair with relative speed c_r.
+double vhs_cross_section(const Species& a, const Species& b, double c_r);
+
+class CollisionKernel {
+ public:
+  CollisionKernel(const mesh::TetMesh& grid, const SpeciesTable& table,
+                  CollisionConfig cfg, Chemistry* chemistry = nullptr);
+
+  /// Performs NTC collisions (and reactions) in each cell of `my_cells`.
+  /// `index` must be freshly built for `store`. New particles appended by
+  /// chemistry are NOT collision partners this step (standard practice).
+  CollisionStats collide_cells(ParticleStore& store, const CellIndex& index,
+                               std::span<const std::int32_t> my_cells,
+                               double dt, int step);
+
+  /// Per-cell adaptive majorants (exposed so rebalancing can migrate them
+  /// conceptually; they are global per-cell state, not per-rank).
+  std::span<const double> sigma_cr_max() const { return sigma_cr_max_; }
+
+  /// Binary checkpoint of the adaptive per-cell state.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  const mesh::TetMesh* grid_;
+  const SpeciesTable* table_;
+  CollisionConfig cfg_;
+  Chemistry* chemistry_;
+  std::vector<double> sigma_cr_max_;  // per cell, persists across steps
+  std::vector<double> candidate_carry_;  // fractional NTC candidates per cell
+};
+
+}  // namespace dsmcpic::dsmc

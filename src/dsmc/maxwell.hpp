@@ -1,0 +1,78 @@
+#pragma once
+// Maxwellian velocity sampling for injection and diffuse wall reflection.
+
+#include <cmath>
+
+#include "dsmc/species.hpp"
+#include "support/rng.hpp"
+#include "support/vec3.hpp"
+
+namespace dsmcpic::dsmc {
+
+/// Most probable thermal speed sqrt(2 k T / m).
+inline double thermal_speed(double temperature, double mass) {
+  return std::sqrt(2.0 * constants::kBoltzmann * temperature / mass);
+}
+
+/// Samples an isotropic Maxwellian velocity at temperature T.
+inline Vec3 sample_maxwellian(Rng& rng, double temperature, double mass) {
+  const double sigma = std::sqrt(constants::kBoltzmann * temperature / mass);
+  return {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+          rng.normal(0.0, sigma)};
+}
+
+/// Mean flux of a drifting Maxwellian through a surface (number per area per
+/// time, per unit density): F/n = vth/(2√π) [exp(-s²) + √π s (1 + erf(s))]
+/// with speed ratio s = drift/vth. Used to compute injection counts.
+inline double maxwellian_flux_factor(double drift, double temperature,
+                                     double mass) {
+  const double vth = thermal_speed(temperature, mass);
+  const double s = drift / vth;
+  return vth / (2.0 * std::sqrt(M_PI)) *
+         (std::exp(-s * s) + std::sqrt(M_PI) * s * (1.0 + std::erf(s)));
+}
+
+/// Samples the inward normal velocity component of particles crossing a
+/// surface from a drifting Maxwellian (flux-weighted distribution), by
+/// acceptance-rejection (Bird 1994, App. C). Returns a positive speed along
+/// the inward normal.
+inline double sample_inflow_normal_speed(Rng& rng, double drift,
+                                         double temperature, double mass) {
+  const double vth = thermal_speed(temperature, mass);
+  const double s = drift / vth;
+  // Envelope: shifted Maxwellian times v, accepted against the flux kernel.
+  // Peak of v*exp(-(v-s)^2) at v* = (s + sqrt(s^2+2))/2 (normalized units).
+  const double vstar = 0.5 * (s + std::sqrt(s * s + 2.0));
+  const double peak = vstar * std::exp(-(vstar - s) * (vstar - s));
+  for (;;) {
+    // Propose uniformly over (0, s+4] in normalized units (beyond s+4 the
+    // kernel is negligible).
+    const double v = rng.uniform_pos() * (s + 4.0);
+    const double f = v * std::exp(-(v - s) * (v - s));
+    if (rng.uniform() * peak <= f) return v * vth;
+  }
+}
+
+/// Builds an orthonormal frame (t1, t2) perpendicular to unit vector n.
+inline void tangent_frame(const Vec3& n, Vec3& t1, Vec3& t2) {
+  const Vec3 a = std::abs(n.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  t1 = cross(n, a).normalized();
+  t2 = cross(n, t1);
+}
+
+/// Diffuse reflection: full thermal accommodation at wall temperature; the
+/// outgoing normal component is flux-weighted (v·exp(-v²) kernel).
+inline Vec3 sample_diffuse_reflection(Rng& rng, const Vec3& inward_normal,
+                                      double wall_temperature, double mass) {
+  const double sigma =
+      std::sqrt(constants::kBoltzmann * wall_temperature / mass);
+  const double vth = thermal_speed(wall_temperature, mass);
+  // Normal component from the zero-drift flux distribution: v = vth√(-ln U).
+  const double vn = vth * std::sqrt(-std::log(rng.uniform_pos()));
+  Vec3 t1, t2;
+  tangent_frame(inward_normal, t1, t2);
+  return inward_normal * vn + t1 * rng.normal(0.0, sigma) +
+         t2 * rng.normal(0.0, sigma);
+}
+
+}  // namespace dsmcpic::dsmc

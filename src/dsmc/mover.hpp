@@ -1,0 +1,56 @@
+#pragma once
+// Free-flight particle movement with tetrahedron traversal (DSMC_Move /
+// PIC_Move). Particles fly straight through the unstructured grid, crossing
+// cells by ray-face intersection; boundary faces either reflect them (wall)
+// or remove them from the domain (inlet backflow / outlet, handled later by
+// Reindex). Migration distances can span many cells — the final cell may be
+// owned by a *different rank*, which is what DSMC_Exchange/PIC_Exchange then
+// resolve (paper Sec. IV-B).
+
+#include <cstdint>
+#include <span>
+
+#include "dsmc/particles.hpp"
+#include "dsmc/species.hpp"
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::dsmc {
+
+enum class WallModel { kDiffuse, kSpecular };
+
+enum class MoveFilter { kAll, kNeutralOnly, kChargedOnly };
+
+struct MoverConfig {
+  double wall_temperature = 300.0;  // K (paper: 300 K walls)
+  WallModel wall_model = WallModel::kDiffuse;
+  std::uint64_t seed = 0x9d2c5680ULL;
+};
+
+struct MoveStats {
+  std::int64_t moved = 0;       // particles advanced
+  std::int64_t walk_steps = 0;  // cell faces crossed (work metric)
+  std::int64_t wall_hits = 0;
+  std::int64_t exited = 0;      // removed through inlet/outlet
+};
+
+class Mover {
+ public:
+  Mover(const mesh::TetMesh& grid, const SpeciesTable& table, MoverConfig cfg);
+
+  /// Advances every particle passing `filter` by dt. Sets removed[i] = 1 for
+  /// particles that left the domain. `removed` must be store.size() long.
+  MoveStats move_all(ParticleStore& store, double dt, int step,
+                     std::span<std::uint8_t> removed,
+                     MoveFilter filter = MoveFilter::kAll) const;
+
+  /// Advances a single particle; returns false if it left the domain.
+  bool move_one(Vec3& pos, Vec3& vel, std::int32_t& cell, std::int32_t species,
+                std::int64_t id, double dt, int step, MoveStats& stats) const;
+
+ private:
+  const mesh::TetMesh* grid_;
+  const SpeciesTable* table_;
+  MoverConfig cfg_;
+};
+
+}  // namespace dsmcpic::dsmc

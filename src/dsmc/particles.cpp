@@ -1,0 +1,128 @@
+#include "dsmc/particles.hpp"
+
+#include "support/serialize.hpp"
+
+namespace dsmcpic::dsmc {
+
+void ParticleStore::reserve(std::size_t n) {
+  position_.reserve(n);
+  velocity_.reserve(n);
+  id_.reserve(n);
+  species_.reserve(n);
+  cell_.reserve(n);
+}
+
+void ParticleStore::clear() {
+  position_.clear();
+  velocity_.clear();
+  id_.clear();
+  species_.clear();
+  cell_.clear();
+}
+
+std::size_t ParticleStore::add(const ParticleRecord& p) {
+  position_.push_back(p.position);
+  velocity_.push_back(p.velocity);
+  id_.push_back(p.id);
+  species_.push_back(p.species);
+  cell_.push_back(p.cell);
+  return position_.size() - 1;
+}
+
+ParticleRecord ParticleStore::record(std::size_t i) const {
+  DSMCPIC_CHECK(i < size());
+  return {position_[i], velocity_[i], id_[i], species_[i], cell_[i]};
+}
+
+void ParticleStore::set_record(std::size_t i, const ParticleRecord& p) {
+  DSMCPIC_CHECK(i < size());
+  position_[i] = p.position;
+  velocity_[i] = p.velocity;
+  id_[i] = p.id;
+  species_[i] = p.species;
+  cell_[i] = p.cell;
+}
+
+void ParticleStore::remove_swap(std::size_t i) {
+  DSMCPIC_CHECK(i < size());
+  const std::size_t last = size() - 1;
+  if (i != last) {
+    position_[i] = position_[last];
+    velocity_[i] = velocity_[last];
+    id_[i] = id_[last];
+    species_[i] = species_[last];
+    cell_[i] = cell_[last];
+  }
+  position_.pop_back();
+  velocity_.pop_back();
+  id_.pop_back();
+  species_.pop_back();
+  cell_.pop_back();
+}
+
+std::size_t ParticleStore::remove_flagged(std::span<const std::uint8_t> flags) {
+  DSMCPIC_CHECK(flags.size() == size());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (flags[i]) continue;
+    if (out != i) {
+      position_[out] = position_[i];
+      velocity_[out] = velocity_[i];
+      id_[out] = id_[i];
+      species_[out] = species_[i];
+      cell_[out] = cell_[i];
+    }
+    ++out;
+  }
+  const std::size_t removed = size() - out;
+  position_.resize(out);
+  velocity_.resize(out);
+  id_.resize(out);
+  species_.resize(out);
+  cell_.resize(out);
+  return removed;
+}
+
+std::int64_t ParticleStore::count_species(std::int32_t species_id) const {
+  std::int64_t n = 0;
+  for (std::int32_t s : species_)
+    if (s == species_id) ++n;
+  return n;
+}
+
+void ParticleStore::save(std::ostream& os) const {
+  io::write_vec(os, position_);
+  io::write_vec(os, velocity_);
+  io::write_vec(os, id_);
+  io::write_vec(os, species_);
+  io::write_vec(os, cell_);
+}
+
+void ParticleStore::load(std::istream& is) {
+  position_ = io::read_vec<Vec3>(is);
+  velocity_ = io::read_vec<Vec3>(is);
+  id_ = io::read_vec<std::int64_t>(is);
+  species_ = io::read_vec<std::int32_t>(is);
+  cell_ = io::read_vec<std::int32_t>(is);
+  DSMCPIC_CHECK(velocity_.size() == position_.size());
+  DSMCPIC_CHECK(id_.size() == position_.size());
+  DSMCPIC_CHECK(species_.size() == position_.size());
+  DSMCPIC_CHECK(cell_.size() == position_.size());
+}
+
+CellIndex::CellIndex(const ParticleStore& store, std::int32_t num_cells) {
+  start_.assign(static_cast<std::size_t>(num_cells) + 1, 0);
+  const auto cells = store.cells();
+  for (std::int32_t c : cells) {
+    DSMCPIC_CHECK_MSG(c >= 0 && c < num_cells, "particle in invalid cell " << c);
+    ++start_[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::int32_t c = 0; c < num_cells; ++c) start_[c + 1] += start_[c];
+  items_.resize(store.size());
+  std::vector<std::int64_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < store.size(); ++i)
+    items_[static_cast<std::size_t>(cursor[cells[i]]++)] =
+        static_cast<std::int32_t>(i);
+}
+
+}  // namespace dsmcpic::dsmc

@@ -1,0 +1,93 @@
+#pragma once
+// Particle storage. Structure-of-arrays for the hot loops (move, deposit)
+// plus a trivially copyable ParticleRecord used when particles migrate
+// between ranks (DSMC_Exchange / PIC_Exchange payloads).
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/vec3.hpp"
+
+namespace dsmcpic::dsmc {
+
+/// Wire/record format for one particle; memcpy-serializable.
+struct ParticleRecord {
+  Vec3 position;
+  Vec3 velocity;
+  std::int64_t id = 0;
+  std::int32_t species = 0;
+  std::int32_t cell = -1;  // coarse-grid cell index
+};
+static_assert(std::is_trivially_copyable_v<ParticleRecord>);
+
+class ParticleStore {
+ public:
+  std::size_t size() const { return position_.size(); }
+  bool empty() const { return position_.empty(); }
+  void reserve(std::size_t n);
+  void clear();
+
+  std::size_t add(const ParticleRecord& p);
+
+  // Hot-loop accessors (SoA).
+  std::span<Vec3> positions() { return position_; }
+  std::span<const Vec3> positions() const { return position_; }
+  std::span<Vec3> velocities() { return velocity_; }
+  std::span<const Vec3> velocities() const { return velocity_; }
+  std::span<std::int64_t> ids() { return id_; }
+  std::span<const std::int64_t> ids() const { return id_; }
+  std::span<std::int32_t> species() { return species_; }
+  std::span<const std::int32_t> species() const { return species_; }
+  std::span<std::int32_t> cells() { return cell_; }
+  std::span<const std::int32_t> cells() const { return cell_; }
+
+  ParticleRecord record(std::size_t i) const;
+  void set_record(std::size_t i, const ParticleRecord& p);
+
+  /// Removes particle i by swapping with the last element (O(1)); the caller
+  /// must iterate accordingly (i is reused for the swapped-in particle).
+  void remove_swap(std::size_t i);
+
+  /// Removes every particle whose flag is non-zero; preserves relative order
+  /// of the survivors (stable compaction, used by Reindex). Returns the
+  /// number removed.
+  std::size_t remove_flagged(std::span<const std::uint8_t> flags);
+
+  /// Number of particles of one species.
+  std::int64_t count_species(std::int32_t species_id) const;
+
+  /// Binary checkpoint of the whole store.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<Vec3> position_;
+  std::vector<Vec3> velocity_;
+  std::vector<std::int64_t> id_;
+  std::vector<std::int32_t> species_;
+  std::vector<std::int32_t> cell_;
+};
+
+/// Cell -> particle-index lists (rebuilt per step where needed: collisions,
+/// deposition, exchange classification).
+class CellIndex {
+ public:
+  CellIndex(const ParticleStore& store, std::int32_t num_cells);
+
+  std::span<const std::int32_t> particles_in(std::int32_t cell) const {
+    return {items_.data() + start_[cell],
+            static_cast<std::size_t>(start_[cell + 1] - start_[cell])};
+  }
+  std::int32_t num_cells() const {
+    return static_cast<std::int32_t>(start_.size() - 1);
+  }
+
+ private:
+  std::vector<std::int64_t> start_;
+  std::vector<std::int32_t> items_;
+};
+
+}  // namespace dsmcpic::dsmc

@@ -1,0 +1,36 @@
+#include "dsmc/species.hpp"
+
+namespace dsmcpic::dsmc {
+
+SpeciesTable SpeciesTable::hydrogen(double fnum_h, double fnum_hplus) {
+  SpeciesTable t;
+  Species h;
+  h.name = "H";
+  h.mass = constants::kHydrogenMass;
+  h.charge = 0.0;
+  h.diameter = 2.92e-10;  // VHS diameter for atomic hydrogen
+  h.omega = 0.75;
+  h.t_ref = 273.0;
+  h.fnum = fnum_h;
+  const std::int32_t id_h = t.add(h);
+  DSMCPIC_CHECK(id_h == kSpeciesH);
+
+  Species hp;
+  hp.name = "H+";
+  hp.mass = constants::kHydrogenMass;  // electron mass difference negligible
+  hp.charge = constants::kElementaryCharge;
+  hp.diameter = 2.92e-10;
+  hp.omega = 0.75;
+  hp.t_ref = 273.0;
+  hp.fnum = fnum_hplus;
+  const std::int32_t id_hp = t.add(hp);
+  DSMCPIC_CHECK(id_hp == kSpeciesHPlus);
+  return t;
+}
+
+std::int32_t SpeciesTable::add(Species s) {
+  list_.push_back(std::move(s));
+  return static_cast<std::int32_t>(list_.size() - 1);
+}
+
+}  // namespace dsmcpic::dsmc

@@ -1,0 +1,96 @@
+#include "mesh/io.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+
+namespace dsmcpic::mesh {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x445350435f4d5348ULL;  // "DSPC_MSH"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void write_native(const TetMesh& mesh, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  io::write_pod(os, kMagic);
+  io::write_pod(os, kVersion);
+  io::write_vec(os, mesh.nodes());
+  io::write_vec(os, mesh.tets());
+  std::vector<std::uint8_t> kinds(static_cast<std::size_t>(mesh.num_tets()) * 4);
+  for (std::int32_t t = 0; t < mesh.num_tets(); ++t)
+    for (int f = 0; f < 4; ++f)
+      kinds[t * 4 + f] = static_cast<std::uint8_t>(mesh.face_kind(t, f));
+  io::write_vec(os, kinds);
+}
+
+TetMesh read_native(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSMCPIC_CHECK_MSG(is.good(), "cannot open " << path);
+  DSMCPIC_CHECK_MSG(io::read_pod<std::uint64_t>(is) == kMagic,
+                    "not a dsmcpic mesh file: " << path);
+  DSMCPIC_CHECK_MSG(io::read_pod<std::uint32_t>(is) == kVersion,
+                    "unsupported mesh file version");
+  auto nodes = io::read_vec<Vec3>(is);
+  auto tets = io::read_vec<std::array<std::int32_t, 4>>(is);
+  const auto kinds = io::read_vec<std::uint8_t>(is);
+  TetMesh mesh(std::move(nodes), std::move(tets));
+  mesh.assign_boundary_kinds(kinds);
+  return mesh;
+}
+
+TetMesh read_vtk(const std::string& path) {
+  std::ifstream is(path);
+  DSMCPIC_CHECK_MSG(is.good(), "cannot open " << path);
+  std::string token;
+  std::vector<Vec3> nodes;
+  std::vector<std::array<std::int32_t, 4>> tets;
+  bool saw_points = false, saw_cells = false;
+  while (is >> token) {
+    if (token == "POINTS") {
+      std::int64_t n = 0;
+      std::string type;
+      is >> n >> type;
+      DSMCPIC_CHECK_MSG(n > 0, "VTK POINTS count must be positive");
+      nodes.resize(static_cast<std::size_t>(n));
+      for (auto& p : nodes) {
+        DSMCPIC_CHECK_MSG(static_cast<bool>(is >> p.x >> p.y >> p.z),
+                          "truncated VTK POINTS section");
+      }
+      saw_points = true;
+    } else if (token == "CELLS") {
+      std::int64_t n = 0, total = 0;
+      is >> n >> total;
+      DSMCPIC_CHECK_MSG(n > 0, "VTK CELLS count must be positive");
+      tets.resize(static_cast<std::size_t>(n));
+      for (auto& t : tets) {
+        int nv = 0;
+        DSMCPIC_CHECK_MSG(static_cast<bool>(is >> nv),
+                          "truncated VTK CELLS section");
+        DSMCPIC_CHECK_MSG(nv == 4, "only tetrahedral cells are supported");
+        DSMCPIC_CHECK_MSG(
+            static_cast<bool>(is >> t[0] >> t[1] >> t[2] >> t[3]),
+            "truncated VTK CELLS section");
+      }
+      saw_cells = true;
+    } else if (token == "CELL_TYPES") {
+      std::int64_t n = 0;
+      is >> n;
+      for (std::int64_t i = 0; i < n; ++i) {
+        int type = 0;
+        DSMCPIC_CHECK_MSG(static_cast<bool>(is >> type),
+                          "truncated VTK CELL_TYPES section");
+        DSMCPIC_CHECK_MSG(type == 10, "only VTK_TETRA (10) cells supported");
+      }
+    }
+  }
+  DSMCPIC_CHECK_MSG(saw_points && saw_cells,
+                    "VTK file missing POINTS or CELLS: " << path);
+  return TetMesh(std::move(nodes), std::move(tets));
+}
+
+}  // namespace dsmcpic::mesh

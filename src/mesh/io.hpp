@@ -1,0 +1,25 @@
+#pragma once
+// Mesh I/O: a compact native binary format (nodes + tets + boundary kinds)
+// and a reader for legacy-ASCII VTK unstructured grids restricted to
+// tetrahedra — enough to round-trip our own write_vtk output and to import
+// externally generated tet meshes (the role SALOME plays in the paper).
+
+#include <string>
+
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::mesh {
+
+/// Writes nodes/tets/boundary classification to a binary file.
+void write_native(const TetMesh& mesh, const std::string& path);
+
+/// Reads a mesh written by write_native. Adjacency is rebuilt; the stored
+/// boundary kinds are re-applied.
+TetMesh read_native(const std::string& path);
+
+/// Reads a legacy-ASCII VTK unstructured grid containing only tetrahedra
+/// (cell type 10). The boundary is NOT classified — call classify_boundary
+/// with a geometric classifier afterwards.
+TetMesh read_vtk(const std::string& path);
+
+}  // namespace dsmcpic::mesh

@@ -1,0 +1,90 @@
+#include "mesh/nozzle.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::mesh {
+
+namespace {
+
+/// Elliptical square-to-disk map: preserves the lattice structure while
+/// producing a smooth circular boundary.
+Vec3 disk_point(double u, double v, double radius, double z) {
+  const double x = u * std::sqrt(1.0 - 0.5 * v * v);
+  const double y = v * std::sqrt(1.0 - 0.5 * u * u);
+  return {radius * x, radius * y, z};
+}
+
+}  // namespace
+
+BoundaryClassifier nozzle_classifier(const NozzleSpec& spec) {
+  const double ztol = spec.length * 1e-6;
+  const double inlet_r = spec.inlet_radius();
+  const double length = spec.length;
+  return [ztol, inlet_r, length](const Vec3& centroid,
+                                 const Vec3& /*normal*/) -> BoundaryKind {
+    if (centroid.z < ztol) {
+      const double r = std::hypot(centroid.x, centroid.y);
+      return r <= inlet_r ? BoundaryKind::kInlet : BoundaryKind::kWall;
+    }
+    if (centroid.z > length - ztol) return BoundaryKind::kOutlet;
+    return BoundaryKind::kWall;
+  };
+}
+
+TetMesh make_cylinder_nozzle(const NozzleSpec& spec) {
+  const int n = spec.radial_divisions;
+  const int nz = spec.axial_divisions;
+  DSMCPIC_CHECK_MSG(n >= 2 && nz >= 1, "nozzle lattice too coarse");
+  DSMCPIC_CHECK(spec.radius > 0.0 && spec.length > 0.0);
+  DSMCPIC_CHECK(spec.inlet_radius_frac > 0.0 && spec.inlet_radius_frac <= 1.0);
+
+  const int nn = n + 1;  // nodes per lattice side
+  std::vector<Vec3> nodes;
+  nodes.reserve(static_cast<std::size_t>(nn) * nn * (nz + 1));
+  for (int k = 0; k <= nz; ++k) {
+    const double z = spec.length * static_cast<double>(k) / nz;
+    for (int j = 0; j <= n; ++j) {
+      const double v = 2.0 * j / n - 1.0;
+      for (int i = 0; i <= n; ++i) {
+        const double u = 2.0 * i / n - 1.0;
+        nodes.push_back(disk_point(u, v, spec.radius, z));
+      }
+    }
+  }
+  auto node_id = [nn](int i, int j, int k) {
+    return static_cast<std::int32_t>((k * nn + j) * nn + i);
+  };
+
+  // Kuhn decomposition: 6 tets per hex, one per permutation of the axes,
+  // every tet containing the main diagonal (0,0,0)-(1,1,1) of the hex. The
+  // shared main diagonal orientation makes the decomposition conforming
+  // across the whole structured lattice.
+  static const int kPerms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                   {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  std::vector<std::array<std::int32_t, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(spec.expected_tets()));
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        for (const auto& perm : kPerms) {
+          int d[3] = {0, 0, 0};  // path from hex corner (0,0,0) to (1,1,1)
+          std::array<std::int32_t, 4> tet;
+          tet[0] = node_id(i, j, k);
+          for (int s = 0; s < 3; ++s) {
+            d[perm[s]] = 1;
+            tet[s + 1] = node_id(i + d[0], j + d[1], k + d[2]);
+          }
+          tets.push_back(tet);
+        }
+      }
+    }
+  }
+
+  TetMesh mesh(std::move(nodes), std::move(tets));
+  mesh.classify_boundary(nozzle_classifier(spec));
+  return mesh;
+}
+
+}  // namespace dsmcpic::mesh

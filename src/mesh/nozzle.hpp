@@ -1,0 +1,43 @@
+#pragma once
+// Procedural tetrahedral mesh generator for the paper's 3D cylindrical
+// nozzle (Sec. VI-C, Fig. 7). Replaces the SALOME-generated grids: a
+// structured square lattice is mapped onto the disk cross-section
+// (elliptical mapping, so the lateral wall is smooth), extruded along the
+// axis, and each hexahedron is split into 6 tetrahedra with the Kuhn
+// decomposition (face-conforming across the structured lattice).
+//
+// Boundary layout (axis = +z):
+//   z = 0 and r <= inlet_radius  -> kInlet  (plasma source)
+//   z = 0 and r  > inlet_radius  -> kWall
+//   z = L                        -> kOutlet
+//   lateral surface              -> kWall
+
+#include <cstdint>
+
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::mesh {
+
+struct NozzleSpec {
+  double radius = 0.01;           // cylinder radius [m] (mm-range plume)
+  double length = 0.05;           // cylinder length [m]
+  double inlet_radius_frac = 0.4; // inlet disc radius as a fraction of radius
+  int radial_divisions = 6;       // lattice resolution across the diameter
+  int axial_divisions = 18;       // layers along the axis
+
+  double inlet_radius() const { return radius * inlet_radius_frac; }
+  /// Number of coarse tets this spec will produce.
+  std::int64_t expected_tets() const {
+    return 6LL * radial_divisions * radial_divisions * axial_divisions;
+  }
+};
+
+/// Generates the coarse DSMC grid for the nozzle (adjacency built, boundary
+/// classified).
+TetMesh make_cylinder_nozzle(const NozzleSpec& spec);
+
+/// The boundary classifier used for the nozzle; exposed so the nested fine
+/// grid can be classified with identical geometry rules.
+BoundaryClassifier nozzle_classifier(const NozzleSpec& spec);
+
+}  // namespace dsmcpic::mesh

@@ -1,0 +1,95 @@
+#include "mesh/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::mesh {
+
+namespace {
+
+/// Inradius: 3V / total face area.
+double inradius(const TetMesh& m, std::int32_t t) {
+  double area = 0.0;
+  for (int f = 0; f < 4; ++f) area += m.face_area(t, f);
+  return 3.0 * m.volume(t) / area;
+}
+
+/// Circumradius from the standard determinant-free formula:
+/// R = |a|*|b|*|c| ... use the formula R = sqrt((p^2 q^2 r^2 ...)) — we use
+/// the robust route via the circumcenter solve of the 3x3 linear system.
+double circumradius(const TetMesh& m, std::int32_t t) {
+  const auto& v = m.tet(t);
+  const Vec3& p0 = m.node(v[0]);
+  const Vec3 a = m.node(v[1]) - p0;
+  const Vec3 b = m.node(v[2]) - p0;
+  const Vec3 c = m.node(v[3]) - p0;
+  // Solve 2 [a;b;c] x = [|a|^2; |b|^2; |c|^2] for the circumcenter offset x.
+  const double det = 2.0 * triple(a, b, c);
+  DSMCPIC_CHECK_MSG(det != 0.0, "degenerate tet in circumradius");
+  const Vec3 x = (cross(b, c) * a.norm2() + cross(c, a) * b.norm2() +
+                  cross(a, b) * c.norm2()) /
+                 det;
+  return x.norm();
+}
+
+/// Dihedral angle along the edge shared by faces with outward normals
+/// n1, n2: angle = pi - angle(n1, n2).
+void dihedral_angles(const TetMesh& m, std::int32_t t, double& min_deg,
+                     double& max_deg) {
+  Vec3 normals[4];
+  for (int f = 0; f < 4; ++f) normals[f] = m.face_normal(t, f);
+  min_deg = 180.0;
+  max_deg = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      const double c = std::clamp(dot(normals[i], normals[j]), -1.0, 1.0);
+      const double angle = 180.0 - std::acos(c) * 180.0 / M_PI;
+      min_deg = std::min(min_deg, angle);
+      max_deg = std::max(max_deg, angle);
+    }
+  }
+}
+
+}  // namespace
+
+TetQuality tet_quality(const TetMesh& mesh, std::int32_t t) {
+  TetQuality q;
+  q.radius_ratio = 3.0 * inradius(mesh, t) / circumradius(mesh, t);
+  dihedral_angles(mesh, t, q.min_dihedral_deg, q.max_dihedral_deg);
+
+  const auto& v = mesh.tet(t);
+  double shortest = std::numeric_limits<double>::infinity(), longest = 0.0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) {
+      const double len = (mesh.node(v[i]) - mesh.node(v[j])).norm();
+      shortest = std::min(shortest, len);
+      longest = std::max(longest, len);
+    }
+  q.edge_ratio = longest / shortest;
+  return q;
+}
+
+QualityReport assess_quality(const TetMesh& mesh) {
+  QualityReport r;
+  r.num_tets = mesh.num_tets();
+  if (r.num_tets == 0) return r;
+  r.min_volume = std::numeric_limits<double>::infinity();
+  double rr_sum = 0.0;
+  for (std::int32_t t = 0; t < mesh.num_tets(); ++t) {
+    const TetQuality q = tet_quality(mesh, t);
+    r.min_radius_ratio = std::min(r.min_radius_ratio, q.radius_ratio);
+    rr_sum += q.radius_ratio;
+    r.min_dihedral_deg = std::min(r.min_dihedral_deg, q.min_dihedral_deg);
+    r.max_edge_ratio = std::max(r.max_edge_ratio, q.edge_ratio);
+    r.min_volume = std::min(r.min_volume, mesh.volume(t));
+    r.max_volume = std::max(r.max_volume, mesh.volume(t));
+    if (q.radius_ratio < 0.1) ++r.slivers;
+  }
+  r.mean_radius_ratio = rr_sum / r.num_tets;
+  return r;
+}
+
+}  // namespace dsmcpic::mesh

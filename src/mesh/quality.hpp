@@ -1,0 +1,40 @@
+#pragma once
+// Mesh quality metrics for tetrahedral grids. DSMC statistics and FEM
+// conditioning both degrade on sliver elements, so the generator's output
+// is audited with the standard measures: radius ratio (3 * inradius /
+// circumradius, 1 for the regular tet), minimum dihedral angle, and
+// edge-length ratio.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::mesh {
+
+struct TetQuality {
+  double radius_ratio = 0.0;       // 3 r_in / r_circ, in (0, 1]
+  double min_dihedral_deg = 0.0;   // smallest dihedral angle [degrees]
+  double max_dihedral_deg = 0.0;
+  double edge_ratio = 1.0;         // longest edge / shortest edge, >= 1
+};
+
+/// Quality of a single tetrahedron.
+TetQuality tet_quality(const TetMesh& mesh, std::int32_t t);
+
+struct QualityReport {
+  std::int32_t num_tets = 0;
+  double min_radius_ratio = 1.0;
+  double mean_radius_ratio = 0.0;
+  double min_dihedral_deg = 180.0;
+  double max_edge_ratio = 1.0;
+  double min_volume = 0.0;
+  double max_volume = 0.0;
+  /// Tets with radius ratio below the sliver threshold (0.1).
+  std::int32_t slivers = 0;
+};
+
+/// Sweeps the whole mesh.
+QualityReport assess_quality(const TetMesh& mesh);
+
+}  // namespace dsmcpic::mesh

@@ -1,0 +1,69 @@
+#include "mesh/refine.hpp"
+
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::mesh {
+
+namespace {
+
+/// Packs a sorted node pair into a 64-bit key for midpoint deduplication.
+std::uint64_t edge_key(std::int32_t a, std::int32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+RefinedMesh red_refine(const TetMesh& coarse, const BoundaryClassifier& classifier) {
+  std::vector<Vec3> nodes = coarse.nodes();
+  std::unordered_map<std::uint64_t, std::int32_t> midpoints;
+  midpoints.reserve(static_cast<std::size_t>(coarse.num_tets()) * 3);
+
+  auto midpoint = [&](std::int32_t a, std::int32_t b) -> std::int32_t {
+    const std::uint64_t key = edge_key(a, b);
+    auto it = midpoints.find(key);
+    if (it != midpoints.end()) return it->second;
+    const std::int32_t id = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back((nodes[a] + nodes[b]) * 0.5);
+    midpoints.emplace(key, id);
+    return id;
+  };
+
+  std::vector<std::array<std::int32_t, 4>> fine;
+  fine.reserve(static_cast<std::size_t>(coarse.num_tets()) * 8);
+  std::vector<std::int32_t> parent;
+  parent.reserve(fine.capacity());
+
+  for (std::int32_t t = 0; t < coarse.num_tets(); ++t) {
+    const auto& v = coarse.tet(t);
+    const std::int32_t m01 = midpoint(v[0], v[1]);
+    const std::int32_t m02 = midpoint(v[0], v[2]);
+    const std::int32_t m03 = midpoint(v[0], v[3]);
+    const std::int32_t m12 = midpoint(v[1], v[2]);
+    const std::int32_t m13 = midpoint(v[1], v[3]);
+    const std::int32_t m23 = midpoint(v[2], v[3]);
+
+    // Four corner tets, one per original vertex.
+    fine.push_back({v[0], m01, m02, m03});
+    fine.push_back({m01, v[1], m12, m13});
+    fine.push_back({m02, m12, v[2], m23});
+    fine.push_back({m03, m13, m23, v[3]});
+    // Interior octahedron split along the m02–m13 diagonal into four tets.
+    fine.push_back({m02, m13, m01, m03});
+    fine.push_back({m02, m13, m03, m23});
+    fine.push_back({m02, m13, m23, m12});
+    fine.push_back({m02, m13, m12, m01});
+
+    for (int c = 0; c < 8; ++c) parent.push_back(t);
+  }
+
+  RefinedMesh out{TetMesh(std::move(nodes), std::move(fine)), std::move(parent)};
+  DSMCPIC_CHECK(out.mesh.num_tets() == coarse.num_tets() * 8);
+  if (classifier) out.mesh.classify_boundary(classifier);
+  return out;
+}
+
+}  // namespace dsmcpic::mesh

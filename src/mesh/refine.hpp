@@ -1,0 +1,31 @@
+#pragma once
+// Nested red refinement: each coarse tetrahedron is split into 8 children by
+// halving its edges (paper Fig. 2). The fine PIC grid is *entirely nested*
+// in the coarse DSMC grid, so (a) only the coarse grid needs partitioning
+// and (b) the fine cells of coarse cell c are exactly indices [8c, 8c+8).
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::mesh {
+
+struct RefinedMesh {
+  TetMesh mesh;                       // the fine grid
+  std::vector<std::int32_t> parent;   // fine tet -> coarse tet
+
+  /// First fine child of coarse tet c (children are contiguous).
+  static std::int32_t first_child(std::int32_t coarse_tet) {
+    return coarse_tet * 8;
+  }
+  static std::int32_t parent_of(std::int32_t fine_tet) { return fine_tet / 8; }
+};
+
+/// Performs one level of red refinement. If `classifier` is non-null the
+/// fine boundary is classified with it (pass the same geometric classifier
+/// as the coarse grid so inlet/outlet/wall stay consistent).
+RefinedMesh red_refine(const TetMesh& coarse,
+                       const BoundaryClassifier& classifier = nullptr);
+
+}  // namespace dsmcpic::mesh

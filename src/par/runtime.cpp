@@ -1,0 +1,393 @@
+#include "par/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/serialize.hpp"
+
+namespace dsmcpic::par {
+
+// ---- Comm -----------------------------------------------------------------
+
+int Comm::size() const { return rt_->size(); }
+
+void Comm::charge(WorkKind kind, double units) {
+  DSMCPIC_CHECK_MSG(rt_->in_superstep_, "charge() outside a superstep");
+  const double cost =
+      units * rt_->topo_.profile().costs[static_cast<int>(kind)] *
+      rt_->scale_of(cost_class(kind));
+  rt_->clocks_[rank_] += cost;
+  rt_->charge_busy(rank_, rt_->current_phase_for_comm_, cost);
+}
+
+void Comm::send(int dst, int tag, std::span<const std::byte> payload,
+                CostClass cls) {
+  send_owned(dst, tag, std::vector<std::byte>(payload.begin(), payload.end()),
+             cls);
+}
+
+void Comm::send_owned(int dst, int tag, std::vector<std::byte>&& payload,
+                      CostClass cls) {
+  DSMCPIC_CHECK_MSG(rt_->in_superstep_, "send() outside a superstep");
+  DSMCPIC_CHECK_MSG(dst >= 0 && dst < rt_->size(), "bad destination rank "
+                                                       << dst);
+  Message m;
+  m.src = rank_;
+  m.dst = dst;
+  m.tag = tag;
+  m.byte_scale = rt_->scale_of(cls);
+  m.payload = std::move(payload);
+  rt_->staged_.push_back(std::move(m));
+}
+
+const std::vector<Message>& Comm::inbox() const {
+  return rt_->inbox_[rank_];
+}
+
+void Comm::charge_comm_seconds(double seconds) {
+  DSMCPIC_CHECK_MSG(rt_->in_superstep_, "charge_comm_seconds outside superstep");
+  rt_->clocks_[rank_] += seconds;
+  rt_->charge_busy(rank_, rt_->current_phase_for_comm_, seconds);
+}
+
+double Comm::alpha_to(int peer) const {
+  return rt_->topo_.alpha(rank_, peer);
+}
+
+// ---- Runtime ----------------------------------------------------------------
+
+Runtime::Runtime(int nranks, Topology topology, double particle_scale,
+                 double grid_scale)
+    : nranks_(nranks),
+      topo_(std::move(topology)),
+      particle_scale_(particle_scale),
+      grid_scale_(grid_scale),
+      clocks_(nranks, 0.0),
+      pending_(nranks),
+      inbox_(nranks) {
+  DSMCPIC_CHECK_MSG(nranks >= 1, "runtime needs at least one rank");
+  DSMCPIC_CHECK_MSG(topo_.nranks() == nranks,
+                    "topology sized for " << topo_.nranks() << " ranks, not "
+                                          << nranks);
+  DSMCPIC_CHECK(particle_scale > 0.0 && grid_scale > 0.0);
+}
+
+int Runtime::phase_id(const std::string& phase) {
+  auto [it, inserted] = phase_ids_.try_emplace(
+      phase, static_cast<int>(phase_names_.size()));
+  if (inserted) {
+    phase_names_.push_back(phase);
+    busy_.emplace_back(nranks_, 0.0);
+    phase_transactions_.push_back(0);
+    phase_bytes_.push_back(0.0);
+  }
+  return it->second;
+}
+
+void Runtime::charge_busy(int rank, int phase, double seconds) {
+  busy_[phase][rank] += seconds;
+}
+
+double Runtime::tree_stages() const {
+  return std::ceil(std::log2(std::max(2, nranks_)));
+}
+
+void Runtime::superstep(const std::string& phase,
+                        const std::function<void(Comm&)>& fn) {
+  const int pid = phase_id(phase);
+  // Deliver messages produced in the previous superstep.
+  for (int r = 0; r < nranks_; ++r) inbox_[r] = std::move(pending_[r]);
+  for (int r = 0; r < nranks_; ++r) pending_[r].clear();
+
+  in_superstep_ = true;
+  current_phase_for_comm_ = pid;
+  staged_.clear();
+  for (int r = 0; r < nranks_; ++r) {
+    Comm c(this, r);
+    fn(c);
+  }
+  in_superstep_ = false;
+  route_messages(pid);
+  for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
+}
+
+void Runtime::route_messages(int phase) {
+  const std::uint64_t hint = congestion_hint_;
+  congestion_hint_ = 0;  // one-shot
+  apply_nic_serialization(phase, hint);
+  if (staged_.empty()) return;
+  const MachineProfile& prof = topo_.profile();
+  // Congestion: extra latency when a routing round carries many concurrent
+  // transactions per node (switch/NIC pressure); this is what separates the
+  // distributed N(N-1)-transaction strategy from the centralized 2N one at
+  // scale (paper Sec. IV-B3, Fig. 11).
+  const double round_transactions =
+      hint ? static_cast<double>(hint) : static_cast<double>(staged_.size());
+  const double per_node = round_transactions / std::max(1, topo_.nodes_in_use());
+  const double congestion_mult = 1.0 + prof.congestion * per_node;
+
+  for (Message& m : staged_) {
+    const double bytes = static_cast<double>(m.payload.size()) * m.byte_scale;
+    const double cost =
+        topo_.alpha(m.src, m.dst) * congestion_mult + bytes * prof.beta;
+    // Rendezvous: both endpoints are busy for the transfer.
+    clocks_[m.src] += cost;
+    charge_busy(m.src, phase, cost);
+    clocks_[m.dst] += cost;
+    charge_busy(m.dst, phase, cost);
+    phase_transactions_[phase] += 1;
+    phase_bytes_[phase] += bytes;
+    pending_[m.dst].push_back(std::move(m));
+  }
+  staged_.clear();
+}
+
+void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
+  const MachineProfile& prof = topo_.profile();
+  if (prof.nic_overhead <= 0.0) return;
+  const int ppn = prof.cores_per_node;
+  const int nodes = topo_.nodes_in_use();
+  if (nodes <= 1 && hint == 0) return;  // single node: no inter-node traffic
+
+  // Per-node inter-node message load. Ranks on one physical node share a
+  // NIC, which processes messages serially (and slower under incast).
+  std::vector<double> load(static_cast<std::size_t>(nodes), 0.0);
+  if (hint) {
+    // Logical all-pairs round (distributed exchange): assume the hinted
+    // transactions are spread uniformly over ordered rank pairs; only the
+    // inter-node share hits the NICs.
+    const double inter_share =
+        nranks_ > 1
+            ? std::max(0.0, 1.0 - static_cast<double>(ppn - 1) / (nranks_ - 1))
+            : 0.0;
+    const double per_node = static_cast<double>(hint) * inter_share / nodes;
+    std::fill(load.begin(), load.end(), per_node);
+  } else {
+    for (const Message& m : staged_) {
+      const int ns = m.src / ppn;
+      const int nd = m.dst / ppn;
+      if (ns == nd) continue;
+      load[ns] += 1.0;
+      load[nd] += 1.0;
+    }
+  }
+
+  for (int node = 0; node < nodes; ++node) {
+    if (load[node] <= 0.0) continue;
+    const double t = load[node] * prof.nic_overhead *
+                     (1.0 + load[node] * prof.nic_contention);
+    const int lo = node * ppn;
+    const int hi = std::min(nranks_, lo + ppn);
+    for (int r = lo; r < hi; ++r) {
+      clocks_[r] += t;
+      charge_busy(r, phase, t);
+    }
+  }
+}
+
+void Runtime::sync_clocks(double extra_cost_per_rank, int phase) {
+  double mx = 0.0;
+  for (double c : clocks_) mx = std::max(mx, c);
+  for (int r = 0; r < nranks_; ++r) {
+    clocks_[r] = mx + extra_cost_per_rank;
+    charge_busy(r, phase, extra_cost_per_rank);
+  }
+}
+
+void Runtime::barrier(const std::string& phase) {
+  const int pid = phase_id(phase);
+  sync_clocks(tree_stages() * topo_.profile().alpha_tree, pid);
+}
+
+double Runtime::allreduce_sum(const std::string& phase,
+                              std::span<const double> vals) {
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  const int pid = phase_id(phase);
+  const double cost =
+      2.0 * tree_stages() * topo_.profile().alpha_tree +
+      8.0 * topo_.profile().beta * tree_stages();
+  sync_clocks(cost, pid);
+  double s = 0.0;
+  for (double v : vals) s += v;
+  return s;
+}
+
+double Runtime::allreduce_max(const std::string& phase,
+                              std::span<const double> vals) {
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  const int pid = phase_id(phase);
+  sync_clocks(2.0 * tree_stages() * topo_.profile().alpha_tree, pid);
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : vals) m = std::max(m, v);
+  return m;
+}
+
+double Runtime::allreduce_min(const std::string& phase,
+                              std::span<const double> vals) {
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  const int pid = phase_id(phase);
+  sync_clocks(2.0 * tree_stages() * topo_.profile().alpha_tree, pid);
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : vals) m = std::min(m, v);
+  return m;
+}
+
+std::vector<double> Runtime::allreduce_sum_vec(
+    const std::string& phase, const std::vector<std::vector<double>>& per_rank) {
+  DSMCPIC_CHECK(static_cast<int>(per_rank.size()) == nranks_);
+  const std::size_t len = per_rank.empty() ? 0 : per_rank[0].size();
+  for (const auto& v : per_rank) DSMCPIC_CHECK(v.size() == len);
+  const int pid = phase_id(phase);
+  // Ring allreduce: 2(N-1)/N * bytes through each rank + latency terms.
+  const double bytes = static_cast<double>(len) * 8.0;
+  const double cost = 2.0 * tree_stages() * topo_.profile().alpha_tree +
+                      2.0 * bytes * topo_.profile().beta;
+  sync_clocks(cost, pid);
+  std::vector<double> out(len, 0.0);
+  for (const auto& v : per_rank)
+    for (std::size_t i = 0; i < len; ++i) out[i] += v[i];
+  return out;
+}
+
+std::vector<std::int64_t> Runtime::exscan_sum(
+    const std::string& phase, std::span<const std::int64_t> vals) {
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  const int pid = phase_id(phase);
+  sync_clocks(tree_stages() * topo_.profile().alpha_tree, pid);
+  std::vector<std::int64_t> out(nranks_, 0);
+  std::int64_t acc = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    out[r] = acc;
+    acc += vals[r];
+  }
+  return out;
+}
+
+std::vector<double> Runtime::allgather(const std::string& phase,
+                                       std::span<const double> vals) {
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  const int pid = phase_id(phase);
+  const double cost = tree_stages() * topo_.profile().alpha_tree +
+                      8.0 * nranks_ * topo_.profile().beta;
+  sync_clocks(cost, pid);
+  return std::vector<double>(vals.begin(), vals.end());
+}
+
+void Runtime::charge_bcast(const std::string& phase, int root, double bytes) {
+  DSMCPIC_CHECK(root >= 0 && root < nranks_);
+  const int pid = phase_id(phase);
+  const double cost = tree_stages() * (topo_.profile().alpha_tree +
+                                       bytes * topo_.profile().beta);
+  sync_clocks(cost, pid);
+}
+
+void Runtime::charge_gather(const std::string& phase, int root,
+                            double bytes_per_rank) {
+  DSMCPIC_CHECK(root >= 0 && root < nranks_);
+  const int pid = phase_id(phase);
+  const MachineProfile& prof = topo_.profile();
+  // Root receives N-1 serialized messages; every other rank pays one send.
+  double root_cost = 0.0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == root) continue;
+    const double c = topo_.alpha(r, root) + bytes_per_rank * prof.beta;
+    clocks_[r] += c;
+    charge_busy(r, pid, c);
+    root_cost += c;
+  }
+  clocks_[root] += root_cost;
+  charge_busy(root, pid, root_cost);
+}
+
+void Runtime::charge_rank(const std::string& phase, int rank, WorkKind kind,
+                          double units) {
+  DSMCPIC_CHECK(rank >= 0 && rank < nranks_);
+  const int pid = phase_id(phase);
+  const double cost = units * topo_.profile().costs[static_cast<int>(kind)] *
+                      scale_of(cost_class(kind));
+  clocks_[rank] += cost;
+  charge_busy(rank, pid, cost);
+}
+
+double Runtime::total_time() const {
+  double mx = 0.0;
+  for (double c : clocks_) mx = std::max(mx, c);
+  return mx;
+}
+
+PhaseStats Runtime::phase_stats(const std::string& phase) const {
+  PhaseStats s;
+  auto it = phase_ids_.find(phase);
+  if (it == phase_ids_.end()) return s;
+  const auto& row = busy_[it->second];
+  s.busy_max = *std::max_element(row.begin(), row.end());
+  s.busy_min = *std::min_element(row.begin(), row.end());
+  for (double v : row) s.busy_sum += v;
+  s.transactions = phase_transactions_[it->second];
+  s.bytes = phase_bytes_[it->second];
+  return s;
+}
+
+std::vector<double> Runtime::phase_busy(const std::string& phase) const {
+  auto it = phase_ids_.find(phase);
+  if (it == phase_ids_.end()) return std::vector<double>(nranks_, 0.0);
+  return busy_[it->second];
+}
+
+std::vector<double> Runtime::busy_totals(
+    std::span<const std::string> phases) const {
+  std::vector<double> out(nranks_, 0.0);
+  for (const auto& p : phases) {
+    auto it = phase_ids_.find(p);
+    if (it == phase_ids_.end()) continue;
+    const auto& row = busy_[it->second];
+    for (int r = 0; r < nranks_; ++r) out[r] += row[r];
+  }
+  return out;
+}
+
+std::vector<double> Runtime::busy_all() const {
+  std::vector<double> out(nranks_, 0.0);
+  for (const auto& row : busy_)
+    for (int r = 0; r < nranks_; ++r) out[r] += row[r];
+  return out;
+}
+
+std::vector<std::string> Runtime::phases() const { return phase_names_; }
+
+void Runtime::save(std::ostream& os) const {
+  DSMCPIC_CHECK_MSG(staged_.empty(), "cannot checkpoint mid-superstep");
+  for (const auto& p : pending_)
+    DSMCPIC_CHECK_MSG(p.empty(), "cannot checkpoint with undelivered messages");
+  io::write_vec(os, clocks_);
+  io::write_pod<std::uint64_t>(os, phase_names_.size());
+  for (std::size_t i = 0; i < phase_names_.size(); ++i) {
+    io::write_string(os, phase_names_[i]);
+    io::write_vec(os, busy_[i]);
+    io::write_pod(os, phase_transactions_[i]);
+    io::write_pod(os, phase_bytes_[i]);
+  }
+}
+
+void Runtime::load(std::istream& is) {
+  clocks_ = io::read_vec<double>(is);
+  DSMCPIC_CHECK_MSG(static_cast<int>(clocks_.size()) == nranks_,
+                    "checkpoint rank count mismatch");
+  const auto np = io::read_pod<std::uint64_t>(is);
+  phase_ids_.clear();
+  phase_names_.clear();
+  busy_.clear();
+  phase_transactions_.clear();
+  phase_bytes_.clear();
+  for (std::uint64_t i = 0; i < np; ++i) {
+    const std::string name = io::read_string(is);
+    phase_ids_.emplace(name, static_cast<int>(i));
+    phase_names_.push_back(name);
+    busy_.push_back(io::read_vec<double>(is));
+    phase_transactions_.push_back(io::read_pod<std::uint64_t>(is));
+    phase_bytes_.push_back(io::read_pod<double>(is));
+  }
+}
+
+}  // namespace dsmcpic::par

@@ -1,0 +1,267 @@
+#pragma once
+// Virtual-rank BSP runtime: the MPI + cluster substitute.
+//
+// The paper's solver is an MPI program on up to 1536 cores. This container
+// has one core and no MPI, so the runtime executes N *virtual ranks* as
+// cooperative tasks inside supersteps:
+//
+//   runtime.superstep("DSMC_Move", [&](Comm& c) { ...rank-local work... });
+//
+// Rank-local work is real (actual particles, actual matrices); what is
+// virtual is *time*. Each rank has a virtual clock advanced by
+//   * compute charges  — work units × machine-profile coefficients,
+//   * message costs    — topology-aware Hockney α–β with a congestion term,
+//   * collective costs — log-tree model,
+// and synchronizing operations align clocks to the maximum (the wait time
+// the paper's load-imbalance indicator is built from). Everything is
+// deterministic: two runs with the same seed produce identical virtual
+// times, which is what lets the bench harness regenerate the paper's tables.
+//
+// Message semantics: messages sent during superstep S are delivered to the
+// destination inbox at the start of superstep S+1 (BSP). Collectives are
+// driver-level calls between supersteps operating on per-rank values.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "par/machine.hpp"
+#include "par/work.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::par {
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  double byte_scale = 1.0;  // cost-model multiplier for the payload bytes
+  std::vector<std::byte> payload;
+
+  /// Reinterprets the payload as an array of trivially copyable T.
+  template <typename T>
+  std::vector<T> decode() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto s = view<T>();
+    return std::vector<T>(s.begin(), s.end());
+  }
+
+  /// Zero-copy view of the payload as elements of T (valid while the
+  /// message is alive — i.e. within the receiving superstep body).
+  template <typename T>
+  std::span<const T> view() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSMCPIC_CHECK_MSG(payload.size() % sizeof(T) == 0,
+                      "payload size " << payload.size()
+                                      << " not a multiple of element size "
+                                      << sizeof(T));
+    return {reinterpret_cast<const T*>(payload.data()),
+            payload.size() / sizeof(T)};
+  }
+};
+
+class Runtime;
+
+/// Per-rank handle passed to superstep bodies.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Charges `units` of compute work of the given kind to this rank's clock
+  /// (scaled by the runtime's particle/grid scale per the kind's CostClass).
+  void charge(WorkKind kind, double units);
+
+  /// Sends raw bytes to `dst`; delivered at the start of the next superstep.
+  /// `cls` selects the byte-cost scaling: particle payloads (migration) vs
+  /// grid payloads (halo/field data).
+  void send(int dst, int tag, std::span<const std::byte> payload,
+            CostClass cls = CostClass::kParticle);
+
+  /// Move-sends an owned byte buffer (no copy; hot paths).
+  void send_owned(int dst, int tag, std::vector<std::byte>&& payload,
+                  CostClass cls = CostClass::kParticle);
+
+  /// Builds a byte buffer from trivially copyable elements and move-sends it.
+  template <typename T>
+  void send_pod_vec(int dst, int tag, const std::vector<T>& elems,
+                    CostClass cls = CostClass::kParticle) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(elems.size() * sizeof(T));
+    if (!bytes.empty())
+      std::memcpy(bytes.data(), elems.data(), bytes.size());
+    send_owned(dst, tag, std::move(bytes), cls);
+  }
+
+  /// Charges raw communication seconds to this rank (used for zero-payload
+  /// handshake transactions that carry no data but still cost latency, e.g.
+  /// the distributed strategy's empty send/recv pairs).
+  void charge_comm_seconds(double seconds);
+
+  /// Point-to-point latency to a peer under the current topology (no
+  /// congestion term).
+  double alpha_to(int peer) const;
+
+  /// Sends an array of trivially copyable elements.
+  template <typename T>
+  void send_pod(int dst, int tag, std::span<const T> elems,
+                CostClass cls = CostClass::kParticle) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<const std::byte> bytes{
+        reinterpret_cast<const std::byte*>(elems.data()),
+        elems.size() * sizeof(T)};
+    send(dst, tag, bytes, cls);
+  }
+
+  /// Messages delivered to this rank for the current superstep.
+  const std::vector<Message>& inbox() const;
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+  Runtime* rt_;
+  int rank_;
+};
+
+/// Cumulative per-phase statistics (virtual seconds / counts).
+struct PhaseStats {
+  double busy_max = 0.0;   // max over ranks of busy time in this phase
+  double busy_min = 0.0;   // min over ranks
+  double busy_sum = 0.0;   // sum over ranks
+  std::uint64_t transactions = 0;  // point-to-point messages routed
+  double bytes = 0.0;              // scaled payload bytes routed
+};
+
+class Runtime {
+ public:
+  /// The scales map a scaled-down run back onto paper-sized virtual
+  /// workloads (see DESIGN.md §1): `particle_scale` multiplies
+  /// particle-proportional charges and payload bytes, `grid_scale`
+  /// grid-proportional ones (solver flops, assembly, field halos).
+  Runtime(int nranks, Topology topology, double particle_scale = 1.0,
+          double grid_scale = 1.0);
+
+  int size() const { return nranks_; }
+  const Topology& topology() const { return topo_; }
+  double scale_of(CostClass cls) const {
+    switch (cls) {
+      case CostClass::kParticle: return particle_scale_;
+      case CostClass::kGrid: return grid_scale_;
+      case CostClass::kNone: return 1.0;
+    }
+    return 1.0;
+  }
+
+  // ---- supersteps -------------------------------------------------------
+
+  /// Runs `fn` once per rank (sequentially, deterministic order 0..N-1),
+  /// then routes all messages sent during the step. Message delivery costs
+  /// are charged under `phase`.
+  void superstep(const std::string& phase, const std::function<void(Comm&)>& fn);
+
+  /// Overrides the transaction count used for the congestion term of the
+  /// NEXT routing round (one-shot). The distributed exchange performs
+  /// N(N-1) logical transactions even when most payloads are empty; the
+  /// implementation only ships non-empty ones, so it hints the true count.
+  void hint_round_transactions(std::uint64_t n) { congestion_hint_ = n; }
+
+  // ---- synchronizing collectives (driver level) -------------------------
+
+  /// Aligns all clocks to the maximum plus a tree-barrier cost.
+  void barrier(const std::string& phase);
+
+  /// Sum-allreduce of one double per rank; synchronizing.
+  double allreduce_sum(const std::string& phase, std::span<const double> vals);
+  double allreduce_max(const std::string& phase, std::span<const double> vals);
+  double allreduce_min(const std::string& phase, std::span<const double> vals);
+
+  /// Element-wise sum-allreduce of per-rank vectors (all of equal length);
+  /// cost modelled as a ring allreduce of `len * 8` bytes. Returns the sum.
+  std::vector<double> allreduce_sum_vec(
+      const std::string& phase,
+      const std::vector<std::vector<double>>& per_rank);
+
+  /// Exclusive prefix sum over one value per rank (Reindex numbering).
+  std::vector<std::int64_t> exscan_sum(const std::string& phase,
+                                       std::span<const std::int64_t> vals);
+
+  /// Allgather of one double per rank.
+  std::vector<double> allgather(const std::string& phase,
+                                std::span<const double> vals);
+
+  /// Charges the cost of broadcasting `bytes` from `root` to all ranks.
+  void charge_bcast(const std::string& phase, int root, double bytes);
+
+  /// Charges the cost of gathering `bytes_per_rank` to `root` (root pays the
+  /// serialized receive cost, others one send).
+  void charge_gather(const std::string& phase, int root, double bytes_per_rank);
+
+  /// Charges compute on a single rank outside a superstep (e.g. the root
+  /// re-running the partitioner during Rebalance); synchronizing afterwards
+  /// is the caller's choice.
+  void charge_rank(const std::string& phase, int rank, WorkKind kind,
+                   double units);
+
+  // ---- accounting -------------------------------------------------------
+
+  /// Virtual clock of one rank / end-to-end virtual time (max clock).
+  double clock(int rank) const { return clocks_.at(rank); }
+  double total_time() const;
+
+  /// Cumulative stats for one phase (zeros if never used).
+  PhaseStats phase_stats(const std::string& phase) const;
+  /// Per-rank cumulative busy time in one phase.
+  std::vector<double> phase_busy(const std::string& phase) const;
+  /// Per-rank busy time summed over the given phases.
+  std::vector<double> busy_totals(std::span<const std::string> phases) const;
+  /// Per-rank busy summed over ALL phases.
+  std::vector<double> busy_all() const;
+  /// Names of all phases seen so far, in first-use order.
+  std::vector<std::string> phases() const;
+
+  /// Binary checkpoint of the accounting state (clocks, per-phase busy
+  /// matrices). Message queues must be empty (between supersteps).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  friend class Comm;
+
+  int phase_id(const std::string& phase);
+  void charge_busy(int rank, int phase, double seconds);
+  void sync_clocks(double extra_cost_per_rank, int phase);
+  void route_messages(int phase);
+  /// Charges the per-node NIC serialization of this routing round (see
+  /// MachineProfile::nic_overhead).
+  void apply_nic_serialization(int phase, std::uint64_t hint);
+  double tree_stages() const;
+
+  int nranks_;
+  Topology topo_;
+  double particle_scale_;
+  double grid_scale_;
+
+  std::vector<double> clocks_;
+
+  // busy_[phase][rank]; phase registry keeps first-use order.
+  std::map<std::string, int> phase_ids_;
+  std::vector<std::string> phase_names_;
+  std::vector<std::vector<double>> busy_;
+  std::vector<std::uint64_t> phase_transactions_;
+  std::vector<double> phase_bytes_;
+
+  std::vector<std::vector<Message>> pending_;  // delivery at next superstep
+  std::vector<std::vector<Message>> inbox_;    // current superstep
+  std::vector<Message> staged_;                // sent during current superstep
+  bool in_superstep_ = false;
+  int current_phase_for_comm_ = -1;
+  std::uint64_t congestion_hint_ = 0;  // one-shot; 0 = use staged count
+};
+
+}  // namespace dsmcpic::par

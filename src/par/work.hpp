@@ -1,0 +1,103 @@
+#pragma once
+// Work-kind taxonomy for deterministic compute-cost accounting.
+//
+// The virtual runtime does not measure wall-clock time (which would be
+// non-deterministic and meaningless on a single-core container); instead
+// every solver phase *charges* work units of a given kind, and the machine
+// profile converts units to virtual seconds. The kinds below correspond to
+// the inner loops of the coupled DSMC/PIC solver.
+
+#include <array>
+#include <cstddef>
+
+namespace dsmcpic::par {
+
+enum class WorkKind : int {
+  kInject = 0,     // per injected particle (sampling + insertion)
+  kMove,           // per particle free-flight step incl. tet-walk face test
+  kWalkStep,       // per tetrahedron crossed during the walk
+  kCollide,        // per NTC candidate pair examined
+  kReact,          // per chemical reaction performed
+  kReindex,        // per particle compacted / renumbered
+  kDeposit,        // per particle charge scatter (4 nodes)
+  kFieldGather,    // per particle E-field gather
+  kBorisPush,      // per particle velocity/position update
+  kSpmvFlop,       // per floating-point op in sparse matvec
+  kVecFlop,        // per flop in dense vector ops (dot/axpy)
+  kAssemble,       // per finite element assembled into the stiffness matrix
+  kScan,           // per particle scanned when extracting migrants
+  kClassify,       // per particle classified/packed for migration (root)
+  kPackByte,       // per byte serialized into a message payload
+  kPartitionEdge,  // per graph edge visited during (re)partitioning
+  kMatchingOp,     // per inner operation of the Kuhn–Munkres matching
+  kGeneric,        // anything else (bookkeeping)
+  kNumWorkKinds,
+};
+
+inline constexpr std::size_t kNumWorkKinds =
+    static_cast<std::size_t>(WorkKind::kNumWorkKinds);
+
+/// Per-unit costs in virtual seconds, indexed by WorkKind.
+using WorkCosts = std::array<double, kNumWorkKinds>;
+
+/// What a unit of work (or a payload byte) is proportional to. The bench
+/// harness runs scaled-down problems; to report paper-magnitude virtual
+/// times, particle-proportional work is multiplied by the particle scale
+/// (paper particles / our particles) and grid-proportional work by the grid
+/// scale (paper cells / our cells). The two differ by orders of magnitude.
+enum class CostClass { kParticle, kGrid, kNone };
+
+constexpr CostClass cost_class(WorkKind k) {
+  switch (k) {
+    case WorkKind::kInject:
+    case WorkKind::kMove:
+    case WorkKind::kWalkStep:
+    case WorkKind::kCollide:
+    case WorkKind::kReact:
+    case WorkKind::kReindex:
+    case WorkKind::kDeposit:
+    case WorkKind::kFieldGather:
+    case WorkKind::kBorisPush:
+    case WorkKind::kScan:
+    case WorkKind::kClassify:
+    case WorkKind::kPackByte:
+      return CostClass::kParticle;
+    case WorkKind::kSpmvFlop:
+    case WorkKind::kVecFlop:
+    case WorkKind::kAssemble:
+    case WorkKind::kPartitionEdge:
+    case WorkKind::kGeneric:
+      return CostClass::kGrid;
+    case WorkKind::kMatchingOp:
+    case WorkKind::kNumWorkKinds:
+      return CostClass::kNone;
+  }
+  return CostClass::kNone;
+}
+
+constexpr const char* work_kind_name(WorkKind k) {
+  switch (k) {
+    case WorkKind::kInject: return "inject";
+    case WorkKind::kMove: return "move";
+    case WorkKind::kWalkStep: return "walk_step";
+    case WorkKind::kCollide: return "collide";
+    case WorkKind::kReact: return "react";
+    case WorkKind::kReindex: return "reindex";
+    case WorkKind::kDeposit: return "deposit";
+    case WorkKind::kFieldGather: return "field_gather";
+    case WorkKind::kBorisPush: return "boris_push";
+    case WorkKind::kSpmvFlop: return "spmv_flop";
+    case WorkKind::kVecFlop: return "vec_flop";
+    case WorkKind::kAssemble: return "assemble";
+    case WorkKind::kScan: return "scan";
+    case WorkKind::kClassify: return "classify";
+    case WorkKind::kPackByte: return "pack_byte";
+    case WorkKind::kPartitionEdge: return "partition_edge";
+    case WorkKind::kMatchingOp: return "matching_op";
+    case WorkKind::kGeneric: return "generic";
+    case WorkKind::kNumWorkKinds: break;
+  }
+  return "?";
+}
+
+}  // namespace dsmcpic::par

@@ -1,0 +1,60 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+
+namespace dsmcpic::partition {
+
+void Graph::validate() const {
+  const std::int32_t nv = num_vertices();
+  DSMCPIC_CHECK(xadj.empty() || xadj[0] == 0);
+  for (std::int32_t v = 0; v < nv; ++v)
+    DSMCPIC_CHECK_MSG(xadj[v] <= xadj[v + 1], "xadj not monotone at " << v);
+  DSMCPIC_CHECK(static_cast<std::int64_t>(adjncy.size()) == num_edges());
+  DSMCPIC_CHECK(vwgt.empty() || static_cast<std::int32_t>(vwgt.size()) == nv);
+  DSMCPIC_CHECK(ewgt.empty() || ewgt.size() == adjncy.size());
+  for (std::int32_t v = 0; v < nv; ++v) {
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const std::int32_t u = adjncy[static_cast<std::size_t>(e)];
+      DSMCPIC_CHECK_MSG(u >= 0 && u < nv, "neighbor out of range");
+      DSMCPIC_CHECK_MSG(u != v, "self loop at vertex " << v);
+      // Symmetry: u must list v with the same weight.
+      bool found = false;
+      for (std::int64_t e2 = xadj[u]; e2 < xadj[u + 1]; ++e2) {
+        if (adjncy[static_cast<std::size_t>(e2)] == v &&
+            edge_weight(e2) == edge_weight(e)) {
+          found = true;
+          break;
+        }
+      }
+      DSMCPIC_CHECK_MSG(found, "asymmetric edge " << v << " -> " << u);
+    }
+  }
+}
+
+std::int64_t edge_cut(const Graph& g, std::span<const std::int32_t> part) {
+  DSMCPIC_CHECK(static_cast<std::int32_t>(part.size()) == g.num_vertices());
+  std::int64_t cut = 0;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+      if (part[v] != part[u]) cut += g.edge_weight(e);
+    }
+  }
+  return cut / 2;  // each undirected edge counted twice
+}
+
+double imbalance(const Graph& g, std::span<const std::int32_t> part, int nparts) {
+  DSMCPIC_CHECK(static_cast<std::int32_t>(part.size()) == g.num_vertices());
+  DSMCPIC_CHECK(nparts >= 1);
+  std::vector<std::int64_t> weight(nparts, 0);
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    DSMCPIC_CHECK(part[v] >= 0 && part[v] < nparts);
+    weight[part[v]] += g.vertex_weight(v);
+  }
+  const double ideal =
+      static_cast<double>(g.total_vertex_weight()) / nparts;
+  const std::int64_t mx = *std::max_element(weight.begin(), weight.end());
+  return ideal > 0.0 ? static_cast<double>(mx) / ideal : 1.0;
+}
+
+}  // namespace dsmcpic::partition

@@ -1,0 +1,57 @@
+#pragma once
+// CSR graph with vertex and edge weights — the same input format as
+// METIS_PartGraphKway (xadj/adjncy/vwgt), which is what the paper feeds the
+// coarse-grid dual graph and the weighted load model into (Sec. IV-A, V-B).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::partition {
+
+struct Graph {
+  std::vector<std::int64_t> xadj;     // size nv+1
+  std::vector<std::int32_t> adjncy;   // size xadj[nv]
+  std::vector<std::int64_t> vwgt;     // vertex weights (size nv; empty = all 1)
+  std::vector<std::int64_t> ewgt;     // edge weights (parallel to adjncy; empty = all 1)
+
+  std::int32_t num_vertices() const {
+    return xadj.empty() ? 0 : static_cast<std::int32_t>(xadj.size() - 1);
+  }
+  std::int64_t num_edges() const {  // directed edge slots (2x undirected)
+    return xadj.empty() ? 0 : xadj.back();
+  }
+
+  std::int64_t vertex_weight(std::int32_t v) const {
+    return vwgt.empty() ? 1 : vwgt[v];
+  }
+  std::int64_t edge_weight(std::int64_t e) const {
+    return ewgt.empty() ? 1 : ewgt[e];
+  }
+
+  std::span<const std::int32_t> neighbors(std::int32_t v) const {
+    return {adjncy.data() + xadj[v],
+            static_cast<std::size_t>(xadj[v + 1] - xadj[v])};
+  }
+
+  std::int64_t total_vertex_weight() const {
+    if (vwgt.empty()) return num_vertices();
+    std::int64_t s = 0;
+    for (auto w : vwgt) s += w;
+    return s;
+  }
+
+  /// Structural sanity: symmetric adjacency, no self-loops, sizes coherent.
+  /// Throws dsmcpic::Error on violation; used by tests and debug paths.
+  void validate() const;
+};
+
+/// Edge cut of a partition (sum of weights of edges crossing parts).
+std::int64_t edge_cut(const Graph& g, std::span<const std::int32_t> part);
+
+/// Load imbalance: max part weight / ideal part weight (>= 1).
+double imbalance(const Graph& g, std::span<const std::int32_t> part, int nparts);
+
+}  // namespace dsmcpic::partition

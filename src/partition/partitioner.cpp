@@ -1,0 +1,461 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace dsmcpic::partition {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coarsening: heavy-edge matching + contraction.
+// ---------------------------------------------------------------------------
+
+struct CoarseLevel {
+  Graph graph;
+  std::vector<std::int32_t> fine_to_coarse;  // size = finer graph nv
+};
+
+CoarseLevel coarsen_once(const Graph& g, Rng& rng) {
+  const std::int32_t nv = g.num_vertices();
+  std::vector<std::int32_t> order(nv);
+  std::iota(order.begin(), order.end(), 0);
+  // Random visit order decorrelates matchings across levels.
+  for (std::int32_t i = nv - 1; i > 0; --i)
+    std::swap(order[i], order[rng.uniform_index(static_cast<std::uint64_t>(i) + 1)]);
+
+  std::vector<std::int32_t> match(nv, -1);
+  for (std::int32_t v : order) {
+    if (match[v] != -1) continue;
+    std::int32_t best = -1;
+    std::int64_t best_w = -1;
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+      if (match[u] != -1) continue;
+      const std::int64_t w = g.edge_weight(e);
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // unmatched: maps to its own coarse vertex
+    }
+  }
+
+  CoarseLevel lvl;
+  lvl.fine_to_coarse.assign(nv, -1);
+  std::int32_t nc = 0;
+  for (std::int32_t v = 0; v < nv; ++v) {
+    if (lvl.fine_to_coarse[v] != -1) continue;
+    lvl.fine_to_coarse[v] = nc;
+    if (match[v] != v) lvl.fine_to_coarse[match[v]] = nc;
+    ++nc;
+  }
+
+  Graph& cg = lvl.graph;
+  cg.xadj.assign(nc + 1, 0);
+  cg.vwgt.assign(nc, 0);
+  for (std::int32_t v = 0; v < nv; ++v)
+    cg.vwgt[lvl.fine_to_coarse[v]] += g.vertex_weight(v);
+
+  // Accumulate contracted edges per coarse vertex.
+  std::vector<std::unordered_map<std::int32_t, std::int64_t>> acc(nc);
+  for (std::int32_t v = 0; v < nv; ++v) {
+    const std::int32_t cv = lvl.fine_to_coarse[v];
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t cu = lvl.fine_to_coarse[g.adjncy[static_cast<std::size_t>(e)]];
+      if (cu == cv) continue;
+      acc[cv][cu] += g.edge_weight(e);
+    }
+  }
+  for (std::int32_t c = 0; c < nc; ++c)
+    cg.xadj[c + 1] = cg.xadj[c] + static_cast<std::int64_t>(acc[c].size());
+  cg.adjncy.resize(static_cast<std::size_t>(cg.xadj[nc]));
+  cg.ewgt.resize(cg.adjncy.size());
+  for (std::int32_t c = 0; c < nc; ++c) {
+    std::int64_t pos = cg.xadj[c];
+    // Sorted neighbors keep the construction deterministic.
+    std::vector<std::pair<std::int32_t, std::int64_t>> nb(acc[c].begin(),
+                                                          acc[c].end());
+    std::sort(nb.begin(), nb.end());
+    for (const auto& [u, w] : nb) {
+      cg.adjncy[static_cast<std::size_t>(pos)] = u;
+      cg.ewgt[static_cast<std::size_t>(pos)] = w;
+      ++pos;
+    }
+  }
+  return lvl;
+}
+
+// ---------------------------------------------------------------------------
+// Bisection state + FM refinement.
+// ---------------------------------------------------------------------------
+
+std::int64_t cut_of_sides(const Graph& g, const std::vector<std::int8_t>& side) {
+  std::int64_t cut = 0;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e)
+      if (side[v] != side[g.adjncy[static_cast<std::size_t>(e)]])
+        cut += g.edge_weight(e);
+  return cut / 2;
+}
+
+/// One FM pass with rollback. `target0` is the desired weight of side 0;
+/// side 1's target is total - target0. Balance-aware: the pass first drives
+/// the balance violation to zero, then minimizes cut among feasible states
+/// (best prefix ranked by (violation, cut)). Returns the cut after the pass.
+std::int64_t fm_pass(const Graph& g, std::vector<std::int8_t>& side,
+                     std::int64_t target0, double tol) {
+  const std::int32_t nv = g.num_vertices();
+  const std::int64_t total = g.total_vertex_weight();
+  const std::int64_t target1 = total - target0;
+  std::int64_t w0 = 0;
+  for (std::int32_t v = 0; v < nv; ++v)
+    if (side[v] == 0) w0 += g.vertex_weight(v);
+
+  auto max_w = [&](int s) {
+    const std::int64_t t = s == 0 ? target0 : target1;
+    return static_cast<std::int64_t>(static_cast<double>(t) * tol);
+  };
+  auto violation = [&](std::int64_t w0_now) {
+    return std::max<std::int64_t>(
+        {0, w0_now - max_w(0), (total - w0_now) - max_w(1)});
+  };
+
+  // gain[v] = external - internal edge weight.
+  std::vector<std::int64_t> gain(nv, 0);
+  for (std::int32_t v = 0; v < nv; ++v)
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+      gain[v] += (side[u] != side[v]) ? g.edge_weight(e) : -g.edge_weight(e);
+    }
+
+  using Entry = std::pair<std::int64_t, std::int32_t>;  // (gain, vertex)
+  std::priority_queue<Entry> heap;
+  for (std::int32_t v = 0; v < nv; ++v) heap.emplace(gain[v], v);
+
+  std::vector<std::int8_t> locked(nv, 0);
+  std::vector<std::int32_t> moved;
+  moved.reserve(nv);
+
+  std::int64_t cut = cut_of_sides(g, side);
+  std::int64_t best_cut = cut;
+  std::int64_t best_viol = violation(w0);
+  std::size_t best_prefix = 0;
+
+  while (!heap.empty()) {
+    const auto [gv, v] = heap.top();
+    heap.pop();
+    if (locked[v] || gv != gain[v]) continue;  // stale entry
+    const int from = side[v];
+    const int to = 1 - from;
+    const std::int64_t wv = g.vertex_weight(v);
+    const std::int64_t new_w0 = w0 + ((to == 0) ? wv : -wv);
+    const std::int64_t dest_w = (to == 0) ? new_w0 : total - new_w0;
+    const std::int64_t cur_viol = violation(w0);
+    // A move is admissible when it keeps the destination in balance, or when
+    // the overall violation shrinks (escaping an infeasible start).
+    if (dest_w > max_w(to) && violation(new_w0) >= cur_viol) continue;
+
+    // Apply the move.
+    locked[v] = 1;
+    side[v] = static_cast<std::int8_t>(to);
+    w0 = new_w0;
+    cut -= gain[v];
+    moved.push_back(v);
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+      if (locked[u]) continue;
+      const std::int64_t w = g.edge_weight(e);
+      gain[u] += (side[u] == from) ? 2 * w : -2 * w;
+      heap.emplace(gain[u], u);
+    }
+    const std::int64_t viol = violation(w0);
+    if (viol < best_viol || (viol == best_viol && cut < best_cut)) {
+      best_viol = viol;
+      best_cut = cut;
+      best_prefix = moved.size();
+    }
+  }
+
+  // Roll back moves past the best prefix.
+  for (std::size_t i = moved.size(); i > best_prefix; --i)
+    side[moved[i - 1]] = static_cast<std::int8_t>(1 - side[moved[i - 1]]);
+  return best_cut;
+}
+
+/// Greedy graph growing: BFS from a random seed, absorbing vertices until
+/// side 0 reaches its target weight.
+void grow_initial(const Graph& g, std::vector<std::int8_t>& side,
+                  std::int64_t target0, Rng& rng) {
+  const std::int32_t nv = g.num_vertices();
+  std::fill(side.begin(), side.end(), std::int8_t{1});
+  std::vector<std::int8_t> seen(nv, 0);
+  std::queue<std::int32_t> frontier;
+  const auto seed_v = static_cast<std::int32_t>(rng.uniform_index(nv));
+  frontier.push(seed_v);
+  seen[seed_v] = 1;
+  std::int64_t w0 = 0;
+  while (w0 < target0) {
+    std::int32_t v;
+    if (frontier.empty()) {
+      // Disconnected remainder: restart from any unseen vertex.
+      v = -1;
+      for (std::int32_t u = 0; u < nv; ++u)
+        if (!seen[u]) {
+          v = u;
+          seen[u] = 1;
+          break;
+        }
+      if (v < 0) break;
+    } else {
+      v = frontier.front();
+      frontier.pop();
+    }
+    const std::int64_t wv = g.vertex_weight(v);
+    // Heavy vertex that would overshoot worse than stopping short: leave it
+    // on side 1 (but keep exploring, lighter vertices may still fit).
+    if (w0 > 0 && (w0 + wv - target0) > (target0 - w0)) {
+      for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+        if (!seen[u]) {
+          seen[u] = 1;
+          frontier.push(u);
+        }
+      }
+      continue;
+    }
+    side[v] = 0;
+    w0 += wv;
+    for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+      if (!seen[u]) {
+        seen[u] = 1;
+        frontier.push(u);
+      }
+    }
+  }
+}
+
+/// Multilevel bisection of `g` targeting `target0` weight on side 0.
+std::vector<std::int8_t> multilevel_bisect(const Graph& g, std::int64_t target0,
+                                           const PartitionOptions& opt,
+                                           Rng& rng) {
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels;
+  const Graph* cur = &g;
+  while (cur->num_vertices() > opt.coarsen_to) {
+    CoarseLevel lvl = coarsen_once(*cur, rng);
+    // Stop if matching stagnates (e.g. star graphs).
+    if (lvl.graph.num_vertices() > cur->num_vertices() * 9 / 10) break;
+    levels.push_back(std::move(lvl));
+    cur = &levels.back().graph;
+  }
+
+  // Initial bisection on the coarsest graph, best of several tries.
+  const Graph& coarsest = *cur;
+  std::vector<std::int8_t> best_side(coarsest.num_vertices(), 1);
+  std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+  for (int attempt = 0; attempt < opt.initial_tries; ++attempt) {
+    std::vector<std::int8_t> side(coarsest.num_vertices(), 1);
+    grow_initial(coarsest, side, target0, rng);
+    for (int p = 0; p < opt.refine_passes; ++p) {
+      const std::int64_t before = cut_of_sides(coarsest, side);
+      const std::int64_t after =
+          fm_pass(coarsest, side, target0, opt.imbalance_tol);
+      if (after >= before) break;
+    }
+    const std::int64_t cut = cut_of_sides(coarsest, side);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best_side = side;
+    }
+  }
+
+  // Uncoarsening + refinement.
+  std::vector<std::int8_t> side = std::move(best_side);
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const Graph& finer = (std::next(it) == levels.rend())
+                             ? g
+                             : std::next(it)->graph;
+    std::vector<std::int8_t> fine_side(finer.num_vertices());
+    for (std::int32_t v = 0; v < finer.num_vertices(); ++v)
+      fine_side[v] = side[it->fine_to_coarse[v]];
+    for (int p = 0; p < opt.refine_passes; ++p) {
+      const std::int64_t before = cut_of_sides(finer, fine_side);
+      const std::int64_t after =
+          fm_pass(finer, fine_side, target0, opt.imbalance_tol);
+      if (after >= before) break;
+    }
+    side = std::move(fine_side);
+  }
+  return side;
+}
+
+/// Extracts the subgraph induced by `vertices` (ids into `g`).
+Graph subgraph(const Graph& g, const std::vector<std::int32_t>& vertices,
+               std::vector<std::int32_t>& local_to_global) {
+  std::unordered_map<std::int32_t, std::int32_t> global_to_local;
+  global_to_local.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    global_to_local.emplace(vertices[i], static_cast<std::int32_t>(i));
+  local_to_global = vertices;
+
+  Graph sg;
+  const auto nv = static_cast<std::int32_t>(vertices.size());
+  sg.xadj.assign(nv + 1, 0);
+  sg.vwgt.resize(nv);
+  for (std::int32_t i = 0; i < nv; ++i) {
+    sg.vwgt[i] = g.vertex_weight(vertices[i]);
+    for (std::int64_t e = g.xadj[vertices[i]]; e < g.xadj[vertices[i] + 1]; ++e)
+      if (global_to_local.count(g.adjncy[static_cast<std::size_t>(e)]))
+        ++sg.xadj[i + 1];
+  }
+  for (std::int32_t i = 0; i < nv; ++i) sg.xadj[i + 1] += sg.xadj[i];
+  sg.adjncy.resize(static_cast<std::size_t>(sg.xadj[nv]));
+  sg.ewgt.resize(sg.adjncy.size());
+  std::vector<std::int64_t> cursor(sg.xadj.begin(), sg.xadj.end() - 1);
+  for (std::int32_t i = 0; i < nv; ++i) {
+    for (std::int64_t e = g.xadj[vertices[i]]; e < g.xadj[vertices[i] + 1]; ++e) {
+      auto it = global_to_local.find(g.adjncy[static_cast<std::size_t>(e)]);
+      if (it == global_to_local.end()) continue;
+      sg.adjncy[static_cast<std::size_t>(cursor[i])] = it->second;
+      sg.ewgt[static_cast<std::size_t>(cursor[i])] = g.edge_weight(e);
+      ++cursor[i];
+    }
+  }
+  return sg;
+}
+
+void part_recursive(const Graph& g, const std::vector<std::int32_t>& vertices,
+                    int nparts, int part_offset,
+                    const PartitionOptions& opt, std::uint64_t path,
+                    std::vector<std::int32_t>& out) {
+  if (nparts == 1) {
+    for (std::int32_t v : vertices) out[v] = part_offset;
+    return;
+  }
+  std::vector<std::int32_t> l2g;
+  Graph sg = subgraph(g, vertices, l2g);
+
+  // Degenerate: fewer vertices than parts — spread by weight, heaviest first.
+  if (sg.num_vertices() <= nparts) {
+    std::vector<std::int32_t> order(sg.num_vertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+      return sg.vertex_weight(a) > sg.vertex_weight(b);
+    });
+    for (std::size_t i = 0; i < order.size(); ++i)
+      out[l2g[order[i]]] = part_offset + static_cast<int>(i % nparts);
+    return;
+  }
+
+  const int k0 = nparts / 2;
+  const int k1 = nparts - k0;
+  const std::int64_t total = sg.total_vertex_weight();
+  const std::int64_t target0 = total * k0 / nparts;
+
+  Rng rng(opt.seed, path);
+  const std::vector<std::int8_t> side = multilevel_bisect(sg, target0, opt, rng);
+
+  std::vector<std::int32_t> set0, set1;
+  for (std::int32_t v = 0; v < sg.num_vertices(); ++v)
+    (side[v] == 0 ? set0 : set1).push_back(l2g[v]);
+  // A pathological bisection (empty side) would loop forever; split evenly.
+  if (set0.empty() || set1.empty()) {
+    set0.clear();
+    set1.clear();
+    for (std::size_t i = 0; i < l2g.size(); ++i)
+      (i % 2 == 0 ? set0 : set1).push_back(l2g[i]);
+  }
+  part_recursive(g, set0, k0, part_offset, opt, path * 2 + 1, out);
+  part_recursive(g, set1, k1, part_offset + k0, opt, path * 2 + 2, out);
+}
+
+}  // namespace
+
+PartitionResult part_graph_kway(const Graph& g, int nparts,
+                                const PartitionOptions& options) {
+  DSMCPIC_CHECK_MSG(nparts >= 1, "nparts must be positive");
+  const std::int32_t nv = g.num_vertices();
+  PartitionResult result;
+  result.part.assign(nv, 0);
+  if (nparts == 1 || nv == 0) {
+    result.cut = 0;
+    result.imbalance = 1.0;
+    return result;
+  }
+  std::vector<std::int32_t> all(nv);
+  std::iota(all.begin(), all.end(), 0);
+  part_recursive(g, all, nparts, 0, options, 1, result.part);
+  if (options.kway_refine_passes > 0)
+    kway_refine(g, result.part, nparts, options.imbalance_tol,
+                options.kway_refine_passes);
+  result.cut = edge_cut(g, result.part);
+  result.imbalance = imbalance(g, result.part, nparts);
+  return result;
+}
+
+std::int64_t kway_refine(const Graph& g, std::vector<std::int32_t>& part,
+                         int nparts, double imbalance_tol, int passes) {
+  DSMCPIC_CHECK(static_cast<std::int32_t>(part.size()) == g.num_vertices());
+  const std::int32_t nv = g.num_vertices();
+  std::vector<std::int64_t> weight(nparts, 0);
+  for (std::int32_t v = 0; v < nv; ++v) weight[part[v]] += g.vertex_weight(v);
+  const std::int64_t max_w = static_cast<std::int64_t>(
+      static_cast<double>(g.total_vertex_weight()) / nparts * imbalance_tol);
+
+  std::int64_t total_gain = 0;
+  std::vector<std::int64_t> conn(nparts, 0);  // edge weight to each part
+  std::vector<int> touched;
+  for (int pass = 0; pass < passes; ++pass) {
+    std::int64_t pass_gain = 0;
+    for (std::int32_t v = 0; v < nv; ++v) {
+      // Connectivity of v to each adjacent part.
+      touched.clear();
+      for (std::int64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const std::int32_t u = g.adjncy[static_cast<std::size_t>(e)];
+        if (conn[part[u]] == 0) touched.push_back(part[u]);
+        conn[part[u]] += g.edge_weight(e);
+      }
+      const int from = part[v];
+      const std::int64_t wv = g.vertex_weight(v);
+      int best = from;
+      std::int64_t best_gain = 0;
+      for (const int p : touched) {
+        if (p == from) continue;
+        const std::int64_t gain = conn[p] - conn[from];
+        // Move only if it strictly reduces cut and keeps the target in
+        // balance (or if the source part is overweight and the move is
+        // cut-neutral).
+        const bool balance_ok = weight[p] + wv <= max_w;
+        const bool relieves = weight[from] > max_w && weight[p] + wv < weight[from];
+        if (((gain > best_gain && balance_ok) ||
+             (gain >= best_gain && relieves)) &&
+            (balance_ok || relieves))
+          best = p, best_gain = gain;
+      }
+      if (best != from) {
+        weight[from] -= wv;
+        weight[best] += wv;
+        part[v] = best;
+        pass_gain += best_gain;
+      }
+      for (const int p : touched) conn[p] = 0;
+    }
+    total_gain += pass_gain;
+    if (pass_gain == 0) break;
+  }
+  return total_gain;
+}
+
+}  // namespace dsmcpic::partition

@@ -1,0 +1,29 @@
+#pragma once
+// Boris particle pusher (paper Sec. III-C: "we use the Boris method to
+// calculate the numerical value of the velocity"). Handles E-only pushes
+// (B = 0, the paper's default) and the constant-B case via the standard
+// half-acceleration / rotation / half-acceleration scheme.
+
+#include "support/vec3.hpp"
+
+namespace dsmcpic::pic {
+
+/// Advances a velocity by dt under fields E, B for charge-to-mass ratio
+/// q/m. Exact energy-conserving rotation for the magnetic part.
+inline Vec3 boris_push(const Vec3& v, const Vec3& e, const Vec3& b,
+                       double q_over_m, double dt) {
+  const double h = 0.5 * q_over_m * dt;
+  // Half electric acceleration.
+  const Vec3 v_minus = v + e * h;
+  // Magnetic rotation.
+  const Vec3 t = b * h;
+  const double t2 = t.norm2();
+  if (t2 == 0.0) return v_minus + e * h;  // pure electrostatic push
+  const Vec3 v_prime = v_minus + cross(v_minus, t);
+  const Vec3 s = t * (2.0 / (1.0 + t2));
+  const Vec3 v_plus = v_minus + cross(v_prime, s);
+  // Second half electric acceleration.
+  return v_plus + e * h;
+}
+
+}  // namespace dsmcpic::pic

@@ -1,0 +1,53 @@
+#include "pic/deposit.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::pic {
+
+namespace {
+
+std::int32_t local_of(std::span<const std::int32_t> sorted_nodes,
+                      std::int32_t g) {
+  const auto it = std::lower_bound(sorted_nodes.begin(), sorted_nodes.end(), g);
+  DSMCPIC_CHECK_MSG(it != sorted_nodes.end() && *it == g,
+                    "deposited node " << g << " missing from the rank node set");
+  return static_cast<std::int32_t>(it - sorted_nodes.begin());
+}
+
+}  // namespace
+
+DepositStats deposit_charge(const dsmc::ParticleStore& store,
+                            const FineGrid& grid,
+                            const dsmc::SpeciesTable& table,
+                            std::span<const std::int32_t> sorted_nodes,
+                            std::span<const std::uint8_t> removed,
+                            std::span<double> node_charge) {
+  DSMCPIC_CHECK(node_charge.size() == sorted_nodes.size());
+  DepositStats stats;
+  const auto positions = store.positions();
+  const auto cells = store.cells();
+  const auto species = store.species();
+  const mesh::TetMesh& fine = grid.fine();
+
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (!removed.empty() && removed[i]) continue;
+    const dsmc::Species& sp = table[species[i]];
+    if (!sp.charged()) continue;
+    const std::int32_t fc = grid.locate(cells[i], positions[i]);
+    if (fc < 0) {
+      ++stats.lost;
+      continue;
+    }
+    const auto w = fine.barycentric(fc, positions[i]);
+    const double q = sp.charge * sp.fnum;
+    const auto& nd = fine.tet(fc);
+    for (int k = 0; k < 4; ++k)
+      node_charge[local_of(sorted_nodes, nd[k])] += q * w[k];
+    ++stats.deposited;
+  }
+  return stats;
+}
+
+}  // namespace dsmcpic::pic

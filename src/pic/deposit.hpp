@@ -1,0 +1,34 @@
+#pragma once
+// Charge deposition: interpolates each charged particle's charge to the four
+// nodes of its fine-grid cell with linear (barycentric) weights — the
+// "interpolating the particle charge to the grid nodes" step of the paper's
+// PIC cycle (Sec. III-C).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsmc/particles.hpp"
+#include "dsmc/species.hpp"
+#include "pic/fine_grid.hpp"
+
+namespace dsmcpic::pic {
+
+struct DepositStats {
+  std::int64_t deposited = 0;  // charged particles scattered
+  std::int64_t lost = 0;       // particles whose fine cell could not be found
+};
+
+/// Scatters charge (q * fnum, in coulomb) of all charged particles into
+/// `node_charge`, a compact per-rank vector indexed like `sorted_nodes`
+/// (ascending global fine-node ids — see NodeExchange::rank_nodes).
+/// Particles flagged in `removed` are skipped.
+DepositStats deposit_charge(const dsmc::ParticleStore& store,
+                            const FineGrid& grid,
+                            const dsmc::SpeciesTable& table,
+                            std::span<const std::int32_t> sorted_nodes,
+                            std::span<const std::uint8_t> removed,
+                            std::span<double> node_charge);
+
+}  // namespace dsmcpic::pic

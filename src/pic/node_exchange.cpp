@@ -1,0 +1,136 @@
+#include "pic/node_exchange.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::pic {
+
+NodeExchange::NodeExchange(const FineGrid& grid,
+                           std::span<const std::int32_t> coarse_owner,
+                           int nranks)
+    : nranks_(nranks) {
+  const mesh::TetMesh& fine = grid.fine();
+  DSMCPIC_CHECK(static_cast<std::int32_t>(coarse_owner.size()) ==
+                grid.coarse().num_tets());
+
+  node_owner_.assign(static_cast<std::size_t>(fine.num_nodes()), -1);
+  std::vector<std::vector<std::int32_t>> sets(nranks);
+  for (std::int32_t fc = 0; fc < fine.num_tets(); ++fc) {
+    const int r = coarse_owner[grid.parent_of(fc)];
+    DSMCPIC_CHECK_MSG(r >= 0 && r < nranks, "bad owner for coarse cell");
+    for (const std::int32_t n : fine.tet(fc)) {
+      sets[r].push_back(n);
+      // Owner = smallest touching rank.
+      if (node_owner_[n] == -1 || r < node_owner_[n]) node_owner_[n] = r;
+    }
+  }
+  rank_nodes_.resize(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    auto& s = sets[r];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    rank_nodes_[r] = std::move(s);
+  }
+
+  // Build matching ghost/owner plans (iterate ghosts in ascending global id
+  // so both sides agree on ordering).
+  ghost_plan_.resize(nranks);
+  owner_plan_.resize(nranks);
+  std::vector<std::map<int, Plan>> ghost_acc(nranks), owner_acc(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < rank_nodes_[r].size(); ++i) {
+      const std::int32_t g = rank_nodes_[r][i];
+      const int o = node_owner_[g];
+      if (o == r) continue;
+      auto& gp = ghost_acc[r][o];
+      gp.peer = o;
+      gp.idx.push_back(static_cast<std::int32_t>(i));
+      auto& op = owner_acc[o][r];
+      op.peer = r;
+      const std::int32_t li = local_index(o, g);
+      DSMCPIC_CHECK_MSG(li >= 0, "owner rank missing its own shared node");
+      op.idx.push_back(li);
+    }
+  }
+  for (int r = 0; r < nranks; ++r) {
+    for (auto& [peer, plan] : ghost_acc[r]) ghost_plan_[r].push_back(std::move(plan));
+    for (auto& [peer, plan] : owner_acc[r]) owner_plan_[r].push_back(std::move(plan));
+  }
+}
+
+std::int32_t NodeExchange::local_index(int r, std::int32_t g) const {
+  const auto& s = rank_nodes_[r];
+  const auto it = std::lower_bound(s.begin(), s.end(), g);
+  if (it == s.end() || *it != g) return -1;
+  return static_cast<std::int32_t>(it - s.begin());
+}
+
+std::vector<std::vector<double>> NodeExchange::make_values() const {
+  std::vector<std::vector<double>> v(nranks_);
+  for (int r = 0; r < nranks_; ++r) v[r].assign(rank_nodes_[r].size(), 0.0);
+  return v;
+}
+
+void NodeExchange::reduce_to_owners(par::Runtime& rt, const std::string& phase,
+                                    std::vector<std::vector<double>>& values) const {
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    for (const auto& plan : ghost_plan_[r]) {
+      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto* d = reinterpret_cast<double*>(buf.data());
+      for (std::size_t i = 0; i < plan.idx.size(); ++i)
+        d[i] = values[r][plan.idx[i]];
+      c.charge(par::WorkKind::kPackByte, static_cast<double>(buf.size()));
+      c.send_owned(plan.peer, 0, std::move(buf), par::CostClass::kGrid);
+    }
+  });
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    for (const auto& msg : c.inbox()) {
+      const auto buf = msg.view<double>();
+      const auto it = std::find_if(
+          owner_plan_[r].begin(), owner_plan_[r].end(),
+          [&msg](const Plan& p) { return p.peer == msg.src; });
+      DSMCPIC_CHECK_MSG(it != owner_plan_[r].end(),
+                        "unexpected node-reduce message from " << msg.src);
+      DSMCPIC_CHECK(buf.size() == it->idx.size());
+      for (std::size_t i = 0; i < buf.size(); ++i)
+        values[r][it->idx[i]] += buf[i];
+      c.charge(par::WorkKind::kVecFlop, static_cast<double>(buf.size()));
+    }
+  });
+}
+
+void NodeExchange::broadcast_from_owners(
+    par::Runtime& rt, const std::string& phase,
+    std::vector<std::vector<double>>& values) const {
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    for (const auto& plan : owner_plan_[r]) {
+      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto* d = reinterpret_cast<double*>(buf.data());
+      for (std::size_t i = 0; i < plan.idx.size(); ++i)
+        d[i] = values[r][plan.idx[i]];
+      c.charge(par::WorkKind::kPackByte, static_cast<double>(buf.size()));
+      c.send_owned(plan.peer, 0, std::move(buf), par::CostClass::kGrid);
+    }
+  });
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    for (const auto& msg : c.inbox()) {
+      const auto buf = msg.view<double>();
+      const auto it = std::find_if(
+          ghost_plan_[r].begin(), ghost_plan_[r].end(),
+          [&msg](const Plan& p) { return p.peer == msg.src; });
+      DSMCPIC_CHECK_MSG(it != ghost_plan_[r].end(),
+                        "unexpected node-broadcast message from " << msg.src);
+      DSMCPIC_CHECK(buf.size() == it->idx.size());
+      for (std::size_t i = 0; i < buf.size(); ++i)
+        values[r][it->idx[i]] = buf[i];
+    }
+  });
+}
+
+}  // namespace dsmcpic::pic

@@ -1,0 +1,35 @@
+#pragma once
+// Tiny leveled logger. Quiet by default so ctest output stays readable;
+// bench binaries can raise the level with --verbose.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dsmcpic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define DSMCPIC_LOG(level, msg_expr)                                     \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::dsmcpic::log_level())) { \
+      std::ostringstream os_;                                            \
+      os_ << msg_expr;                                                   \
+      ::dsmcpic::detail::log_emit(level, os_.str());                     \
+    }                                                                    \
+  } while (0)
+
+#define LOG_DEBUG(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kDebug, msg)
+#define LOG_INFO(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kInfo, msg)
+#define LOG_WARN(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kWarn, msg)
+#define LOG_ERROR(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kError, msg)
+
+}  // namespace dsmcpic

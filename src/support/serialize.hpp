@@ -1,0 +1,72 @@
+#pragma once
+// Minimal binary (de)serialization helpers for checkpointing: PODs and
+// vectors of PODs on iostreams, with length prefixes and failure checks.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::io {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  DSMCPIC_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DSMCPIC_CHECK_MSG(is.good(), "checkpoint read failed (truncated?)");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(os, v.size());
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+    DSMCPIC_CHECK_MSG(os.good(), "checkpoint write failed");
+  }
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(n);
+  if (n) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    DSMCPIC_CHECK_MSG(is.good(), "checkpoint read failed (truncated?)");
+  }
+  return v;
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  DSMCPIC_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+inline std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::string s(n, '\0');
+  if (n) {
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    DSMCPIC_CHECK_MSG(is.good(), "checkpoint read failed (truncated?)");
+  }
+  return s;
+}
+
+}  // namespace dsmcpic::io

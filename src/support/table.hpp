@@ -1,0 +1,39 @@
+#pragma once
+// Aligned plain-text table printer. The bench binaries use it to emit the
+// same row/column layout as the paper's tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsmcpic {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  /// Scientific notation, e.g. 9.94e+10.
+  static std::string sci(double v, int precision = 2);
+  /// Percentage with sign, e.g. "+37.3%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the table with column alignment.
+  std::string str() const;
+  void print(std::ostream& os) const;
+  void print() const;  // to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsmcpic

@@ -1,0 +1,70 @@
+#pragma once
+// Small fixed-size 3D vector used throughout mesh geometry and particle
+// kinematics. Kept header-only and trivially copyable so particle arrays
+// can be memcpy-serialized during migration.
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace dsmcpic {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) { return a.dot(b); }
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) { return a.cross(b); }
+
+/// Scalar triple product a · (b × c); 6× the signed volume of the
+/// tetrahedron spanned by the three edge vectors.
+constexpr double triple(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return a.dot(b.cross(c));
+}
+
+}  // namespace dsmcpic

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "balance/hungarian.hpp"
+#include "balance/rebalancer.hpp"
+#include "par/machine.hpp"
+#include "par/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace dsmcpic::balance {
+namespace {
+
+/// Brute-force max-weight assignment for cross-checking (n <= 8).
+double brute_force_max(const std::vector<double>& w, int n) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += w[i * n + perm[i]];
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, TrivialCases) {
+  const std::vector<double> one{5.0};
+  const AssignmentResult r1 = hungarian_max(one, 1);
+  EXPECT_EQ(r1.row_to_col[0], 0);
+  EXPECT_DOUBLE_EQ(r1.total, 5.0);
+
+  // Identity is optimal on a diagonal-dominant matrix.
+  const std::vector<double> diag{10, 1, 1,  //
+                                 1, 10, 1,  //
+                                 1, 1, 10};
+  const AssignmentResult r3 = hungarian_max(diag, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r3.row_to_col[i], i);
+  EXPECT_DOUBLE_EQ(r3.total, 30.0);
+}
+
+TEST(Hungarian, KnownMinInstance) {
+  // Classic 3x3: optimal min cost = 5 (0->1, 1->0, 2->2).
+  const std::vector<double> cost{4, 1, 3,  //
+                                 2, 0, 5,  //
+                                 3, 2, 2};
+  const AssignmentResult r = hungarian_min(cost, 3);
+  EXPECT_DOUBLE_EQ(r.total, 5.0);
+}
+
+TEST(Hungarian, AssignmentIsAPermutation) {
+  Rng rng(17);
+  const int n = 12;
+  std::vector<double> w(n * n);
+  for (auto& x : w) x = rng.uniform(0, 100);
+  const AssignmentResult r = hungarian_max(w, n);
+  std::vector<char> used(n, 0);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_GE(r.row_to_col[i], 0);
+    ASSERT_LT(r.row_to_col[i], n);
+    EXPECT_FALSE(used[r.row_to_col[i]]);
+    used[r.row_to_col[i]] = 1;
+  }
+  EXPECT_GT(r.operations, 0);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> w(n * n);
+    for (auto& x : w) x = std::floor(rng.uniform(0, 50));
+    const AssignmentResult r = hungarian_max(w, n);
+    EXPECT_DOUBLE_EQ(r.total, brute_force_max(w, n)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandomTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(Hungarian, LargeInstanceRunsFast) {
+  Rng rng(3);
+  const int n = 256;
+  std::vector<double> w(static_cast<std::size_t>(n) * n);
+  for (auto& x : w) x = rng.uniform(0, 1000);
+  const AssignmentResult r = hungarian_max(w, n);
+  // Sanity: at least as good as the identity assignment.
+  double identity = 0.0;
+  for (int i = 0; i < n; ++i) identity += w[static_cast<std::size_t>(i) * n + i];
+  EXPECT_GE(r.total, identity);
+}
+
+TEST(Lii, FormulaMatchesEq6) {
+  // total{4, 10}, migration{1, 2}, poisson{1, 2}:
+  // lii = (10-2-2)/(4-1-1) = 3.
+  const std::vector<double> total{4, 10}, pm{1, 2}, poi{1, 2};
+  EXPECT_DOUBLE_EQ(load_imbalance_indicator(total, pm, poi), 3.0);
+}
+
+TEST(Lii, PerfectBalanceIsOne) {
+  const std::vector<double> total{5, 5, 5}, pm{1, 1, 1}, poi{2, 2, 2};
+  EXPECT_DOUBLE_EQ(load_imbalance_indicator(total, pm, poi), 1.0);
+}
+
+TEST(Lii, IdleRankYieldsInfinity) {
+  const std::vector<double> total{10, 1}, pm{0, 1}, poi{0, 0};
+  EXPECT_TRUE(std::isinf(load_imbalance_indicator(total, pm, poi)));
+}
+
+TEST(KmRemap, IdenticalPartitionKeepsLabels) {
+  // New partition == old owners: KM must relabel parts to the identity.
+  const std::vector<std::int32_t> old_owner{0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> new_part{1, 1, 2, 2, 0, 0};
+  const std::vector<double> keep{10, 10, 20, 20, 30, 30};
+  const auto owner = km_remap(old_owner, new_part, keep, 3);
+  EXPECT_EQ(owner, old_owner);  // zero particles migrate
+}
+
+TEST(KmRemap, MinimizesMigrationVsIdentityLabels) {
+  // 4 cells, 2 ranks. New partition groups {0,1} and {2,3} but labels them
+  // opposite to the old owners; KM must flip the labels (Fig. 6 scenario).
+  const std::vector<std::int32_t> old_owner{0, 0, 1, 1};
+  const std::vector<std::int32_t> new_part{1, 1, 0, 0};
+  const std::vector<double> keep{100, 100, 100, 100};
+  const auto owner = km_remap(old_owner, new_part, keep, 2);
+  EXPECT_EQ(owner, old_owner);
+  // Identity labeling would have migrated all 400 particles.
+}
+
+TEST(KmRemap, PartialOverlapPicksBestMatch) {
+  // Rank 0 held heavy cells 0,1; the new partition puts 0,1,2 in part 1.
+  const std::vector<std::int32_t> old_owner{0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> new_part{1, 1, 1, 0, 0};
+  const std::vector<double> keep{50, 50, 1, 1, 1};
+  const auto owner = km_remap(old_owner, new_part, keep, 2);
+  // Part 1 (holding the heavy cells) must take label 0.
+  EXPECT_EQ(owner[0], 0);
+  EXPECT_EQ(owner[1], 0);
+  EXPECT_EQ(owner[3], 1);
+}
+
+TEST(Redecompose, BalancesSkewedParticleLoad) {
+  // Path graph of 32 cells; all particles piled into the first 4 cells
+  // (the paper's Fig. 5 situation). Initial owner: block partition.
+  const int ncells = 32, nranks = 4;
+  partition::Graph dual;
+  dual.xadj.assign(ncells + 1, 0);
+  for (int c = 0; c < ncells; ++c)
+    dual.xadj[c + 1] = dual.xadj[c] + (c == 0 || c == ncells - 1 ? 1 : 2);
+  dual.adjncy.resize(dual.xadj[ncells]);
+  for (int c = 0; c < ncells; ++c) {
+    std::int64_t pos = dual.xadj[c];
+    if (c > 0) dual.adjncy[pos++] = c - 1;
+    if (c < ncells - 1) dual.adjncy[pos++] = c + 1;
+  }
+  std::vector<std::int64_t> neutrals(ncells, 0), charged(ncells, 0);
+  for (int c = 0; c < 4; ++c) neutrals[c] = 1000;
+  std::vector<std::int32_t> owner(ncells);
+  for (int c = 0; c < ncells; ++c) owner[c] = c / (ncells / nranks);
+
+  par::Runtime rt(nranks,
+                  par::Topology(par::MachineProfile::tianhe2(), nranks));
+  RebalanceConfig cfg;
+  RebalanceStats stats;
+  std::vector<Vec3> centroids(ncells);
+  for (int c = 0; c < ncells; ++c) centroids[c] = {static_cast<double>(c), 0, 0};
+  const auto new_owner = redecompose(rt, "rebalance", dual, centroids, neutrals,
+                                     charged, owner, cfg, stats);
+
+  // The four heavy cells must now be spread across ranks.
+  std::vector<std::int64_t> load(nranks, 0);
+  for (int c = 0; c < ncells; ++c) load[new_owner[c]] += neutrals[c];
+  const std::int64_t mx = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(mx, 2000);  // was 4000 on one rank before
+  EXPECT_EQ(stats.rebalances, 1);
+  EXPECT_GT(stats.cells_reassigned, 0);
+  EXPECT_GT(rt.phase_stats("rebalance").busy_max, 0.0);
+}
+
+TEST(Redecompose, WeightRatioPrioritizesChargedCells) {
+  // Two heavy cells: one with 100 neutrals, one with 100 charged. With
+  // R = 10 the charged cell weighs ~10x more; the partitioner must not put
+  // both on the same rank when splitting two ways.
+  const int ncells = 16, nranks = 2;
+  partition::Graph dual;
+  dual.xadj.assign(ncells + 1, 0);
+  for (int c = 0; c < ncells; ++c)
+    dual.xadj[c + 1] = dual.xadj[c] + (c == 0 || c == ncells - 1 ? 1 : 2);
+  dual.adjncy.resize(dual.xadj[ncells]);
+  for (int c = 0; c < ncells; ++c) {
+    std::int64_t pos = dual.xadj[c];
+    if (c > 0) dual.adjncy[pos++] = c - 1;
+    if (c < ncells - 1) dual.adjncy[pos++] = c + 1;
+  }
+  std::vector<std::int64_t> neutrals(ncells, 1), charged(ncells, 0);
+  charged[3] = 100;
+  charged[12] = 100;
+  std::vector<std::int32_t> owner(ncells, 0);
+  for (int c = ncells / 2; c < ncells; ++c) owner[c] = 1;
+
+  par::Runtime rt(nranks,
+                  par::Topology(par::MachineProfile::tianhe2(), nranks));
+  RebalanceConfig cfg;
+  cfg.weight_ratio = 10.0;
+  RebalanceStats stats;
+  std::vector<Vec3> centroids(ncells);
+  for (int c = 0; c < ncells; ++c) centroids[c] = {static_cast<double>(c), 0, 0};
+  const auto new_owner = redecompose(rt, "rb", dual, centroids, neutrals,
+                                     charged, owner, cfg, stats);
+  EXPECT_NE(new_owner[3], new_owner[12]);
+}
+
+}  // namespace
+}  // namespace dsmcpic::balance

@@ -1,0 +1,151 @@
+// Tests for the solver's production features: checkpoint/restart, the
+// balance auto-tuner, the phase timeline, and the hierarchical exchange
+// strategy driving a full simulation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/autotune.hpp"
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+#include "core/timeline.hpp"
+
+namespace dsmcpic::core {
+namespace {
+
+SolverConfig tiny_config() {
+  Dataset d = make_dataset(1, /*particle_scale=*/0.25);
+  d.config.nozzle.radial_divisions = 3;
+  d.config.nozzle.axial_divisions = 6;
+  return d.config;
+}
+
+ParallelConfig tiny_parallel(int nranks) {
+  ParallelConfig p;
+  p.nranks = nranks;
+  p.balance.period = 4;
+  return p;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, RestartReproducesUninterruptedRun) {
+  const SolverConfig cfg = tiny_config();
+  const ParallelConfig par = tiny_parallel(3);
+
+  // Reference: uninterrupted 12-step run.
+  CoupledSolver reference(cfg, par);
+  reference.run(12);
+
+  // Checkpointed: 7 steps, save, restore into a FRESH solver, 5 more steps.
+  const std::string path = temp_path("dsmcpic_ckpt_test.bin");
+  {
+    CoupledSolver first(cfg, par);
+    first.run(7);
+    first.save_checkpoint(path);
+  }
+  CoupledSolver second(cfg, par);
+  second.restore_checkpoint(path);
+  EXPECT_EQ(second.current_step(), 7);
+  second.run(5);
+
+  EXPECT_EQ(second.total_particles(), reference.total_particles());
+  EXPECT_EQ(second.particles_per_rank(), reference.particles_per_rank());
+  EXPECT_DOUBLE_EQ(second.runtime().total_time(),
+                   reference.runtime().total_time());
+  // Sampled fields continue identically too.
+  const auto da = reference.sampler().number_density(dsmc::kSpeciesH);
+  const auto db = second.sampler().number_density(dsmc::kSpeciesH);
+  for (std::size_t c = 0; c < da.size(); ++c) ASSERT_DOUBLE_EQ(da[c], db[c]);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsMismatchedConfiguration) {
+  const SolverConfig cfg = tiny_config();
+  const std::string path = temp_path("dsmcpic_ckpt_mismatch.bin");
+  {
+    CoupledSolver solver(cfg, tiny_parallel(2));
+    solver.run(2);
+    solver.save_checkpoint(path);
+  }
+  CoupledSolver other(cfg, tiny_parallel(3));  // different rank count
+  EXPECT_THROW(other.restore_checkpoint(path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const std::string path = temp_path("dsmcpic_ckpt_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a checkpoint";
+  }
+  CoupledSolver solver(tiny_config(), tiny_parallel(2));
+  EXPECT_THROW(solver.restore_checkpoint(path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Autotune, PicksAValidCombination) {
+  AutotuneOptions opt;
+  opt.periods = {4, 8};
+  opt.thresholds = {1.5, 3.0};
+  opt.pilot_steps = 8;
+  const AutotuneResult r =
+      autotune_balance(tiny_config(), tiny_parallel(4), opt);
+  ASSERT_EQ(r.trials.size(), 4u);
+  // Trials sorted ascending by time; best matches front.
+  for (std::size_t i = 1; i < r.trials.size(); ++i)
+    EXPECT_GE(r.trials[i].total_time, r.trials[i - 1].total_time);
+  EXPECT_EQ(r.best_period, r.trials.front().period);
+  EXPECT_EQ(r.best_threshold, r.trials.front().threshold);
+  EXPECT_TRUE(r.best_period == 4 || r.best_period == 8);
+}
+
+TEST(Timeline, RecordsPerStepPhaseTimes) {
+  CoupledSolver solver(tiny_config(), tiny_parallel(2));
+  PhaseTimeline timeline(solver);
+  for (int s = 0; s < 5; ++s) {
+    solver.step();
+    timeline.record_step();
+  }
+  ASSERT_EQ(timeline.num_steps(), 5u);
+  // Every step runs the core phases.
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_GT(timeline.at(s, phases::kInject), 0.0);
+    EXPECT_GT(timeline.at(s, phases::kPoissonSolve), 0.0);
+  }
+  // Sum of per-step deltas ~ cumulative phase max.
+  double sum = 0.0;
+  for (std::size_t s = 0; s < 5; ++s) sum += timeline.at(s, phases::kInject);
+  EXPECT_NEAR(sum, solver.summary().phase_max(phases::kInject), 1e-9);
+
+  const std::string csv = temp_path("dsmcpic_timeline.csv");
+  const std::string json = temp_path("dsmcpic_timeline.json");
+  timeline.write_csv(csv);
+  timeline.write_chrome_trace(json);
+  EXPECT_GT(std::filesystem::file_size(csv), 100u);
+  EXPECT_GT(std::filesystem::file_size(json), 100u);
+  std::filesystem::remove(csv);
+  std::filesystem::remove(json);
+}
+
+TEST(HierarchicalStrategy, DrivesAFullSimulation) {
+  SolverConfig cfg = tiny_config();
+  ParallelConfig hc = tiny_parallel(4);
+  hc.strategy = exchange::Strategy::kHierarchical;
+  ParallelConfig dc = tiny_parallel(4);
+  dc.strategy = exchange::Strategy::kDistributed;
+  CoupledSolver a(cfg, hc), b(cfg, dc);
+  a.run(6);
+  b.run(6);
+  // Identical physics regardless of the strategy.
+  EXPECT_EQ(a.total_particles(), b.total_particles());
+  EXPECT_EQ(a.history().back().total_hplus, b.history().back().total_hplus);
+}
+
+}  // namespace
+}  // namespace dsmcpic::core

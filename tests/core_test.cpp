@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+#include "support/stats.hpp"
+
+namespace dsmcpic::core {
+namespace {
+
+/// Small, fast configuration for integration tests.
+SolverConfig tiny_config() {
+  Dataset d = make_dataset(1, /*particle_scale=*/0.25);
+  d.config.nozzle.radial_divisions = 3;
+  d.config.nozzle.axial_divisions = 6;
+  return d.config;
+}
+
+ParallelConfig tiny_parallel(int nranks, bool balance = true) {
+  ParallelConfig p;
+  p.nranks = nranks;
+  p.balance.enabled = balance;
+  p.balance.period = 4;
+  return p;
+}
+
+TEST(Datasets, TableOneRatiosHold) {
+  const Dataset d1 = make_dataset(1);
+  const Dataset d2 = make_dataset(2);
+  const Dataset d3 = make_dataset(3);
+  const Dataset d4 = make_dataset(4);
+  const Dataset d5 = make_dataset(5);
+  // D3 = D2 with 10x fewer particles; D4 half of D2; D5 bigger grid.
+  EXPECT_NEAR(static_cast<double>(d2.target_h) / d3.target_h, 10.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(d2.target_h) / d4.target_h, 2.0, 0.05);
+  EXPECT_GT(d5.config.nozzle.expected_tets(), d2.config.nozzle.expected_tets());
+  EXPECT_GT(d2.config.nozzle.expected_tets(), d1.config.nozzle.expected_tets());
+  // Scaling factors: fewer target particles => larger fnum.
+  EXPECT_GT(d3.config.fnum_h, d2.config.fnum_h);
+  EXPECT_THROW(make_dataset(0), Error);
+  EXPECT_THROW(make_dataset(7), Error);
+}
+
+TEST(Datasets, TargetParticleKnobWorks) {
+  SolverConfig c = make_dataset(2).config;
+  const double fnum_before = c.fnum_h;
+  c.set_target_particles(make_dataset(2).target_h / 10, 100);
+  EXPECT_NEAR(c.fnum_h / fnum_before, 10.0, 0.5);
+}
+
+TEST(Solver, SerialRunsAndFillsDomain) {
+  CoupledSolver solver(tiny_config(), tiny_parallel(1));
+  solver.run(10);
+  EXPECT_GT(solver.total_particles(), 100);
+  const auto& h = solver.history();
+  ASSERT_EQ(h.size(), 10u);
+  // Population grows during fill-in.
+  EXPECT_GT(h.back().total_h, h.front().total_h);
+  EXPECT_GT(h.back().total_hplus, 0);
+  // Poisson actually iterates (PETSc-style zero initial guess).
+  EXPECT_GT(h.back().poisson_iterations, 3);
+}
+
+TEST(Solver, ParticleBookkeepingIsConsistent) {
+  CoupledSolver solver(tiny_config(), tiny_parallel(3));
+  std::int64_t injected = 0;
+  for (int s = 0; s < 8; ++s) injected += solver.step().injected;
+  // Everything present is something that was injected (ionization may add
+  // a few ions, removal subtracts).
+  EXPECT_LE(solver.total_particles(), injected * 2);
+  EXPECT_GT(solver.total_particles(), 0);
+  // Per-rank counts sum to the total.
+  const auto per_rank = solver.particles_per_rank();
+  std::int64_t sum = 0;
+  for (auto n : per_rank) sum += n;
+  EXPECT_EQ(sum, solver.total_particles());
+}
+
+TEST(Solver, AllParticlesLiveOnOwningRank) {
+  CoupledSolver solver(tiny_config(), tiny_parallel(4));
+  solver.run(6);
+  // After every step ends with exchanges done, each rank's particles sit in
+  // cells that rank owns. Verified via the sampler-visible state: re-run a
+  // step and check diagnostics instead (owner map is accessible).
+  const auto owner = solver.owner();
+  EXPECT_EQ(static_cast<std::int32_t>(owner.size()),
+            solver.coarse_grid().num_tets());
+  for (const auto o : owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 4);
+  }
+}
+
+TEST(Solver, DeterministicForFixedSeed) {
+  auto run = [] {
+    CoupledSolver solver(tiny_config(), tiny_parallel(2));
+    solver.run(5);
+    return std::tuple(solver.total_particles(),
+                      solver.history().back().total_hplus,
+                      solver.runtime().total_time());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_DOUBLE_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+TEST(Solver, RebalancingTriggersAndReducesImbalance) {
+  SolverConfig cfg = tiny_config();
+  ParallelConfig par = tiny_parallel(4, /*balance=*/true);
+  par.balance.period = 3;
+  // The evenly-sharded Inject phase flattens lii at tiny rank counts;
+  // trigger on small imbalances so the rebalance machinery is exercised.
+  par.balance.threshold = 1.02;
+  CoupledSolver solver(cfg, par);
+  solver.run(12);
+  EXPECT_GE(solver.rebalance_stats().rebalances, 1);
+  EXPECT_GT(solver.rebalance_stats().cells_reassigned, 0);
+  // After rebalancing, particles spread beyond the inlet ranks.
+  const auto per_rank = solver.particles_per_rank();
+  const double total = static_cast<double>(solver.total_particles());
+  const std::int64_t mx = *std::max_element(per_rank.begin(), per_rank.end());
+  EXPECT_LT(static_cast<double>(mx), 0.8 * total);
+}
+
+TEST(Solver, NoBalanceKeepsInletRankOverloaded) {
+  // The paper's Fig. 5: without LB the inlet-adjacent rank holds the bulk of
+  // the particles during early fill-in.
+  CoupledSolver solver(tiny_config(), tiny_parallel(4, /*balance=*/false));
+  solver.run(6);
+  EXPECT_EQ(solver.rebalance_stats().rebalances, 0);
+  const auto per_rank = solver.particles_per_rank();
+  const std::int64_t mx = *std::max_element(per_rank.begin(), per_rank.end());
+  EXPECT_GT(static_cast<double>(mx),
+            0.5 * static_cast<double>(solver.total_particles()));
+}
+
+TEST(Solver, BalancedRunIsFasterInVirtualTime) {
+  SolverConfig cfg = tiny_config();
+  // Paper-scale compute weights: load imbalance must dominate the (fixed)
+  // rebalancing overhead, as in the evaluation runs.
+  ParallelConfig with_lb = tiny_parallel(4, true);
+  with_lb.balance.period = 3;
+  with_lb.balance.threshold = 1.02;
+  with_lb.particle_scale = 200.0;
+  ParallelConfig without_lb = tiny_parallel(4, false);
+  without_lb.particle_scale = 200.0;
+  CoupledSolver a(cfg, with_lb), b(cfg, without_lb);
+  a.run(15);
+  b.run(15);
+  EXPECT_LT(a.runtime().total_time(), b.runtime().total_time());
+}
+
+TEST(Solver, SerialAndParallelDensitiesAgree) {
+  // The paper's validation (Fig. 9): serial vs parallel axis density,
+  // statistically consistent (same injection streams, different wall/RNG
+  // interleavings).
+  SolverConfig cfg = make_dataset(1).config;  // full D1 statistics
+  cfg.nozzle.radial_divisions = 3;
+  cfg.nozzle.axial_divisions = 6;
+  CoupledSolver serial(cfg, tiny_parallel(1));
+  CoupledSolver parallel(cfg, tiny_parallel(4));
+  const int steps = 30;  // past the ~25-step transit: plume established
+  serial.run(steps);
+  parallel.run(steps);
+  const auto ds = serial.sampler().number_density(dsmc::kSpeciesH);
+  const auto dp = parallel.sampler().number_density(dsmc::kSpeciesH);
+  const auto ps = dsmc::axis_profile(serial.coarse_grid(), ds,
+                                     cfg.nozzle.length, 10);
+  const auto pp = dsmc::axis_profile(parallel.coarse_grid(), dp,
+                                     cfg.nozzle.length, 10);
+  // Compare where the density is established (skip the noisy near-zero
+  // front, as the paper does: "errors become larger when the number density
+  // is close to 0").
+  const double floor = 0.3 * dsmcpic::max_of(ps);
+  double err_sum = 0.0;
+  int counted = 0;
+  for (int k = 0; k < 10; ++k) {
+    if (ps[k] <= floor) continue;
+    err_sum += std::abs(pp[k] - ps[k]) / ps[k];
+    ++counted;
+  }
+  ASSERT_GT(counted, 2);
+  EXPECT_LT(err_sum / counted, 0.30);
+  // Integral quantity: total particle population within 10%.
+  const double ns = static_cast<double>(serial.total_particles());
+  const double np = static_cast<double>(parallel.total_particles());
+  EXPECT_NEAR(np / ns, 1.0, 0.10);
+}
+
+TEST(Solver, PhaseBreakdownCoversWorkflow) {
+  CoupledSolver solver(tiny_config(), tiny_parallel(2));
+  solver.run(4);
+  const RunSummary s = solver.summary();
+  for (const char* phase :
+       {phases::kInject, phases::kDsmcMove, phases::kDsmcExchange,
+        phases::kReindex, phases::kPicMove, phases::kPicExchange,
+        phases::kPoissonSolve}) {
+    EXPECT_GT(s.phase_max(phase), 0.0) << phase;
+  }
+  EXPECT_GT(s.total_time, 0.0);
+  EXPECT_EQ(s.final_particles, solver.total_particles());
+}
+
+TEST(Solver, StrategiesProduceSamePhysics) {
+  SolverConfig cfg = tiny_config();
+  ParallelConfig dc = tiny_parallel(3);
+  dc.strategy = exchange::Strategy::kDistributed;
+  ParallelConfig cc = tiny_parallel(3);
+  cc.strategy = exchange::Strategy::kCentralized;
+  CoupledSolver a(cfg, dc), b(cfg, cc);
+  a.run(6);
+  b.run(6);
+  // The communication strategy must not change the simulation content.
+  EXPECT_EQ(a.total_particles(), b.total_particles());
+  EXPECT_EQ(a.history().back().total_hplus, b.history().back().total_hplus);
+}
+
+TEST(Solver, PotentialFieldIsPhysical) {
+  SolverConfig cfg = tiny_config();
+  cfg.poisson_bcs.phi_inlet = 50.0;
+  CoupledSolver solver(cfg, tiny_parallel(2));
+  solver.run(3);
+  const auto& phi = solver.potential();
+  double mx = -1e300, mn = 1e300;
+  for (double v : phi) {
+    mx = std::max(mx, v);
+    mn = std::min(mn, v);
+  }
+  EXPECT_LE(mx, 50.0 + 1.0);  // near the max principle bound
+  EXPECT_GE(mn, -1.0);
+}
+
+TEST(Solver, MagneticFieldRunWorks) {
+  SolverConfig cfg = tiny_config();
+  cfg.magnetic_field = {0.0, 0.0, 0.05};  // constant axial B
+  CoupledSolver solver(cfg, tiny_parallel(2));
+  solver.run(4);
+  EXPECT_GT(solver.total_particles(), 0);
+}
+
+}  // namespace
+}  // namespace dsmcpic::core

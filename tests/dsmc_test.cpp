@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "dsmc/chemistry.hpp"
+#include "dsmc/collide.hpp"
+#include "dsmc/injector.hpp"
+#include "dsmc/maxwell.hpp"
+#include "dsmc/mover.hpp"
+#include "dsmc/particles.hpp"
+#include "dsmc/sampling.hpp"
+#include "dsmc/species.hpp"
+#include "mesh/nozzle.hpp"
+
+namespace dsmcpic::dsmc {
+namespace {
+
+mesh::NozzleSpec test_spec() {
+  mesh::NozzleSpec s;
+  s.radius = 0.01;
+  s.length = 0.05;
+  s.inlet_radius_frac = 0.4;
+  s.radial_divisions = 4;
+  s.axial_divisions = 10;
+  return s;
+}
+
+TEST(ParticleStore, AddRecordRoundTrip) {
+  ParticleStore s;
+  ParticleRecord p;
+  p.position = {1, 2, 3};
+  p.velocity = {-1, 0, 5};
+  p.id = 42;
+  p.species = kSpeciesHPlus;
+  p.cell = 7;
+  s.add(p);
+  ASSERT_EQ(s.size(), 1u);
+  const ParticleRecord q = s.record(0);
+  EXPECT_EQ(q.position, p.position);
+  EXPECT_EQ(q.velocity, p.velocity);
+  EXPECT_EQ(q.id, 42);
+  EXPECT_EQ(q.species, kSpeciesHPlus);
+  EXPECT_EQ(q.cell, 7);
+}
+
+TEST(ParticleStore, RemoveSwapAndFlagged) {
+  ParticleStore s;
+  for (int i = 0; i < 5; ++i) {
+    ParticleRecord p;
+    p.id = i;
+    s.add(p);
+  }
+  s.remove_swap(1);  // last (id 4) swaps into slot 1
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.ids()[1], 4);
+
+  std::vector<std::uint8_t> flags{1, 0, 1, 0};
+  EXPECT_EQ(s.remove_flagged(flags), 2u);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ids()[0], 4);  // stable order of survivors
+  EXPECT_EQ(s.ids()[1], 3);
+}
+
+TEST(ParticleStore, CountSpecies) {
+  ParticleStore s;
+  for (int i = 0; i < 6; ++i) {
+    ParticleRecord p;
+    p.species = (i % 3 == 0) ? kSpeciesHPlus : kSpeciesH;
+    s.add(p);
+  }
+  EXPECT_EQ(s.count_species(kSpeciesH), 4);
+  EXPECT_EQ(s.count_species(kSpeciesHPlus), 2);
+}
+
+TEST(CellIndex, GroupsByCell) {
+  ParticleStore s;
+  const int cells[] = {2, 0, 2, 1, 2};
+  for (int c : cells) {
+    ParticleRecord p;
+    p.cell = c;
+    s.add(p);
+  }
+  const CellIndex idx(s, 3);
+  EXPECT_EQ(idx.particles_in(0).size(), 1u);
+  EXPECT_EQ(idx.particles_in(1).size(), 1u);
+  EXPECT_EQ(idx.particles_in(2).size(), 3u);
+  for (const auto i : idx.particles_in(2)) EXPECT_EQ(s.cells()[i], 2);
+}
+
+TEST(Maxwell, ThermalSpeedAndFluxLimits) {
+  const double m = constants::kHydrogenMass;
+  const double vth = thermal_speed(300.0, m);
+  EXPECT_NEAR(vth, std::sqrt(2 * constants::kBoltzmann * 300 / m), 1e-9);
+  // Zero drift: flux = n vth / (2 sqrt(pi)).
+  EXPECT_NEAR(maxwellian_flux_factor(0.0, 300.0, m),
+              vth / (2 * std::sqrt(M_PI)), 1e-9);
+  // Strong drift: flux -> drift.
+  EXPECT_NEAR(maxwellian_flux_factor(50 * vth, 300.0, m), 50 * vth,
+              0.01 * 50 * vth);
+}
+
+TEST(Maxwell, SampledMomentsMatch) {
+  Rng rng(31);
+  const double m = constants::kHydrogenMass;
+  const double T = 500.0;
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum2 += sample_maxwellian(rng, T, m).norm2();
+  // <v^2> = 3 kT / m.
+  EXPECT_NEAR(sum2 / n, 3 * constants::kBoltzmann * T / m,
+              0.02 * 3 * constants::kBoltzmann * T / m);
+}
+
+TEST(Maxwell, InflowSpeedsArePositiveAndFluxWeighted) {
+  Rng rng(8);
+  const double m = constants::kHydrogenMass;
+  const double drift = 1e4, T = 300.0;
+  double mean_v = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = sample_inflow_normal_speed(rng, drift, T, m);
+    ASSERT_GT(v, 0.0);
+    mean_v += v;
+  }
+  mean_v /= n;
+  // With s = drift/vth ~ 4.5 the mean inflow speed ~ drift (slightly above).
+  EXPECT_GT(mean_v, drift);
+  EXPECT_LT(mean_v, drift * 1.2);
+}
+
+TEST(Maxwell, DiffuseReflectionPointsInward) {
+  Rng rng(12);
+  const Vec3 n_in{0, 0, 1};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 v =
+        sample_diffuse_reflection(rng, n_in, 300.0, constants::kHydrogenMass);
+    ASSERT_GT(dot(v, n_in), 0.0);
+  }
+}
+
+TEST(Injector, CountMatchesExpectation) {
+  const mesh::NozzleSpec spec = test_spec();
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  const SpeciesTable table = SpeciesTable::hydrogen(1e9, 100.0);
+  InjectionSpec is;
+  is.species = kSpeciesH;
+  is.number_density = 1e19;
+  is.temperature = 300.0;
+  is.drift_speed = 1e4;
+  MaxwellianInjector inj(grid, mesh::BoundaryKind::kInlet, is, 7);
+
+  const double dt = 2e-7;
+  const double expected = inj.expected_per_step(table, dt);
+  ASSERT_GT(expected, 10.0);
+
+  const std::vector<std::int32_t> owner(grid.num_tets(), 0);
+  ParticleStore store;
+  const int steps = 20;
+  std::int64_t total = 0;
+  for (int s = 0; s < steps; ++s)
+    total += inj.inject(store, table, dt, s, owner, 0);
+  EXPECT_NEAR(static_cast<double>(total), expected * steps,
+              0.05 * expected * steps + 2 * steps);
+}
+
+TEST(Injector, ParticlesStartInsideTheirCellMovingInward) {
+  const mesh::NozzleSpec spec = test_spec();
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  InjectionSpec is;
+  is.number_density = 1e19;
+  is.drift_speed = 1e4;
+  MaxwellianInjector inj(grid, mesh::BoundaryKind::kInlet, is, 7);
+  const std::vector<std::int32_t> owner(grid.num_tets(), 0);
+  ParticleStore store;
+  inj.inject(store, table, 2e-7, 0, owner, 0);
+  ASSERT_GT(store.size(), 0u);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto cell = store.cells()[i];
+    EXPECT_TRUE(grid.contains(cell, store.positions()[i], 1e-6));
+    EXPECT_GT(store.velocities()[i].z, 0.0);  // inward = +z at the inlet
+  }
+}
+
+TEST(Injector, OwnershipFiltersFaces) {
+  const mesh::NozzleSpec spec = test_spec();
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  InjectionSpec is;
+  is.number_density = 1e19;
+  MaxwellianInjector inj(grid, mesh::BoundaryKind::kInlet, is, 7);
+  // No cells owned by rank 5: nothing injected.
+  const std::vector<std::int32_t> owner(grid.num_tets(), 0);
+  ParticleStore store;
+  EXPECT_EQ(inj.inject(store, table, 2e-7, 0, owner, 5), 0);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(Injector, ShardsPartitionTheStream) {
+  // The sharded injection must generate the exact same particle set no
+  // matter how many shards it is split into (this is what makes serial and
+  // parallel runs inject identical streams).
+  const mesh::NozzleSpec spec = test_spec();
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  InjectionSpec is;
+  is.number_density = 1e19;
+  is.drift_speed = 1e4;
+
+  auto collect = [&](int nshards) {
+    MaxwellianInjector inj(grid, mesh::BoundaryKind::kInlet, is, 7);
+    std::map<std::int64_t, ParticleRecord> by_id;
+    for (int step = 0; step < 3; ++step) {
+      inj.begin_step(table, 2e-7, step);
+      for (int s = 0; s < nshards; ++s) {
+        ParticleStore store;
+        inj.inject_shard(store, table, s, nshards);
+        for (std::size_t i = 0; i < store.size(); ++i) {
+          const ParticleRecord p = store.record(i);
+          EXPECT_TRUE(by_id.emplace(p.id, p).second) << "duplicate id";
+        }
+      }
+    }
+    return by_id;
+  };
+
+  const auto one = collect(1);
+  const auto four = collect(4);
+  const auto seven = collect(7);
+  ASSERT_GT(one.size(), 50u);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), seven.size());
+  for (const auto& [id, p] : one) {
+    const auto it = four.find(id);
+    ASSERT_NE(it, four.end());
+    EXPECT_EQ(it->second.position, p.position);
+    EXPECT_EQ(it->second.velocity, p.velocity);
+    EXPECT_EQ(it->second.cell, p.cell);
+  }
+}
+
+TEST(Injector, ShardRequiresBeginStep) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  MaxwellianInjector inj(grid, mesh::BoundaryKind::kInlet, {}, 7);
+  ParticleStore store;
+  EXPECT_THROW(inj.inject_shard(store, table, 0, 2), Error);
+}
+
+TEST(Mover, StraightFlightStaysInDomain) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  const Mover mover(grid, table, {});
+  Vec3 pos{0, 0, 0.005};
+  Vec3 vel{0, 0, 1e4};
+  std::int32_t cell = grid.locate(pos, 0);
+  ASSERT_GE(cell, 0);
+  MoveStats st;
+  // Move 1e-6 s: travels 1 cm along the axis, no wall contact.
+  ASSERT_TRUE(mover.move_one(pos, vel, cell, kSpeciesH, 1, 1e-6, 0, st));
+  EXPECT_NEAR(pos.z, 0.015, 1e-9);
+  EXPECT_NEAR(pos.x, 0.0, 1e-12);
+  EXPECT_TRUE(grid.contains(cell, pos, 1e-9));
+  EXPECT_GT(st.walk_steps, 0);
+}
+
+TEST(Mover, ExitsThroughOutlet) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  const Mover mover(grid, table, {});
+  Vec3 pos{0, 0, 0.045};
+  Vec3 vel{0, 0, 1e4};
+  std::int32_t cell = grid.locate(pos, 0);
+  MoveStats st;
+  EXPECT_FALSE(mover.move_one(pos, vel, cell, kSpeciesH, 1, 1e-6, 0, st));
+  EXPECT_EQ(st.exited, 1);
+}
+
+TEST(Mover, SpecularReflectionConservesEnergy) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  MoverConfig cfg;
+  cfg.wall_model = WallModel::kSpecular;
+  const Mover mover(grid, table, cfg);
+  Vec3 pos{0, 0, 0.025};
+  Vec3 vel{2e4, 0, 100.0};  // mostly radial: will hit the lateral wall
+  const double e0 = vel.norm2();
+  std::int32_t cell = grid.locate(pos, 0);
+  MoveStats st;
+  ASSERT_TRUE(mover.move_one(pos, vel, cell, kSpeciesH, 1, 2e-6, 0, st));
+  EXPECT_GT(st.wall_hits, 0);
+  EXPECT_NEAR(vel.norm2(), e0, 1e-6 * e0);
+  EXPECT_TRUE(grid.contains(cell, pos, 1e-6));
+}
+
+TEST(Mover, DiffuseWallThermalizes) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e8, 100.0);
+  MoverConfig cfg;
+  cfg.wall_temperature = 300.0;
+  const Mover mover(grid, table, cfg);
+  // Many fast radial particles; after a diffuse wall hit their speed should
+  // drop to thermal scale (vth ~ 2225 m/s at 300 K).
+  double mean_speed = 0.0;
+  int reflected = 0;
+  for (int i = 0; i < 200; ++i) {
+    Vec3 pos{0, 0, 0.025};
+    Vec3 vel{3e4, 0, 0};
+    std::int32_t cell = grid.locate(pos, 0);
+    MoveStats st;
+    if (mover.move_one(pos, vel, cell, kSpeciesH, i, 1e-6, 0, st) &&
+        st.wall_hits > 0) {
+      mean_speed += vel.norm();
+      ++reflected;
+    }
+  }
+  ASSERT_GT(reflected, 100);
+  mean_speed /= reflected;
+  EXPECT_LT(mean_speed, 8000.0);  // far below the 3e4 injection speed
+  EXPECT_GT(mean_speed, 1000.0);
+}
+
+TEST(Collide, MomentumAndEnergyConservedPerCell) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  // Big fnum + big diameter so collisions certainly happen.
+  SpeciesTable table = SpeciesTable::hydrogen(1e14, 1e14);
+  ParticleStore store;
+  Rng rng(77);
+  const std::int32_t cell = grid.locate({0, 0, 0.025}, 0);
+  ASSERT_GE(cell, 0);
+  for (int i = 0; i < 200; ++i) {
+    ParticleRecord p;
+    p.position = grid.centroid(cell);
+    p.velocity = sample_maxwellian(rng, 100000.0, constants::kHydrogenMass);
+    p.species = kSpeciesH;
+    p.cell = cell;
+    p.id = i;
+    store.add(p);
+  }
+  Vec3 mom0;
+  double e0 = 0.0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    mom0 += store.velocities()[i];
+    e0 += store.velocities()[i].norm2();
+  }
+  CollisionKernel kernel(grid, table, {}, nullptr);
+  const CellIndex index(store, grid.num_tets());
+  const std::vector<std::int32_t> my_cells{cell};
+  const CollisionStats st =
+      kernel.collide_cells(store, index, my_cells, 1e-5, 0);
+  EXPECT_GT(st.candidates, 0);
+  EXPECT_GT(st.collisions, 0);
+  Vec3 mom1;
+  double e1 = 0.0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    mom1 += store.velocities()[i];
+    e1 += store.velocities()[i].norm2();
+  }
+  EXPECT_NEAR((mom1 - mom0).norm(), 0.0, 1e-6 * mom0.norm() + 1e-3);
+  EXPECT_NEAR(e1, e0, 1e-9 * e0);
+}
+
+TEST(Collide, VhsCrossSectionDecreasesWithSpeed) {
+  const SpeciesTable table = SpeciesTable::hydrogen(1, 1);
+  const double s1 = vhs_cross_section(table[0], table[0], 1e3);
+  const double s2 = vhs_cross_section(table[0], table[0], 1e4);
+  EXPECT_GT(s1, s2);
+  EXPECT_GT(s2, 0.0);
+}
+
+TEST(Chemistry, IonizationSpawnsIonAboveThreshold) {
+  const SpeciesTable table = SpeciesTable::hydrogen(1e12, 6000.0);
+  ChemistryConfig cfg;
+  cfg.ionization_threshold = 1e-21;
+  cfg.ionization_probability = 1.0;
+  Chemistry chem(table, cfg);
+  ParticleStore store;
+  for (int i = 0; i < 2; ++i) {
+    ParticleRecord p;
+    p.species = kSpeciesH;
+    p.cell = 0;
+    p.id = i;
+    p.velocity = {0, 0, (i == 0) ? 1e4 : -1e4};
+    store.add(p);
+  }
+  Rng rng(5);
+  ChemistryStats stats;
+  EXPECT_TRUE(chem.try_ionization(rng, store, 0, 1, 1e-20, stats));
+  EXPECT_EQ(stats.ionizations, 1);
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.species()[2], kSpeciesHPlus);
+  // Below threshold: nothing happens.
+  EXPECT_FALSE(chem.try_ionization(rng, store, 0, 1, 1e-22, stats));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(Chemistry, RecombinationRemovesIons) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e12, 1e10);
+  ChemistryConfig cfg;
+  cfg.recombination_rate = 1.0;  // enormous: every ion recombines
+  Chemistry chem(table, cfg);
+  ParticleStore store;
+  const std::int32_t cell = grid.locate({0, 0, 0.02}, 0);
+  for (int i = 0; i < 50; ++i) {
+    ParticleRecord p;
+    p.species = kSpeciesHPlus;
+    p.cell = cell;
+    p.id = i;
+    store.add(p);
+  }
+  std::vector<std::uint8_t> removed(store.size(), 0);
+  const CellIndex index(store, grid.num_tets());
+  const std::vector<std::int32_t> my_cells{cell};
+  const ChemistryStats st =
+      chem.recombine(store, index, my_cells, grid, 1e-3, 0, removed);
+  EXPECT_EQ(st.recombinations, 50);
+  // Every ion either removed or converted to H (weight lottery at 1%).
+  for (std::size_t i = 0; i < store.size(); ++i)
+    EXPECT_TRUE(removed[i] || store.species()[i] == kSpeciesH);
+}
+
+TEST(Chemistry, ChargeExchangeSwapsIonVelocity) {
+  const SpeciesTable table = SpeciesTable::hydrogen(1e12, 6000.0);
+  ChemistryConfig cfg;
+  cfg.cex_probability = 1.0;
+  Chemistry chem(table, cfg);
+  ParticleStore store;
+  ParticleRecord ion;
+  ion.species = kSpeciesHPlus;
+  ion.velocity = {3e4, 0, 0};  // fast ion
+  store.add(ion);
+  ParticleRecord neutral;
+  neutral.species = kSpeciesH;
+  neutral.velocity = {0, 0, 2e3};  // slow neutral
+  store.add(neutral);
+  Rng rng(4);
+  ChemistryStats stats;
+  // Argument order must not matter.
+  EXPECT_TRUE(chem.try_charge_exchange(rng, store, 1, 0, stats));
+  EXPECT_EQ(stats.charge_exchanges, 1);
+  // The ion super-particle adopted the (slow) neutral velocity.
+  EXPECT_EQ(store.velocities()[0], Vec3(0, 0, 2e3));
+  // Species identities unchanged (weight-consistent CEX).
+  EXPECT_EQ(store.species()[0], kSpeciesHPlus);
+  EXPECT_EQ(store.species()[1], kSpeciesH);
+}
+
+TEST(Chemistry, ChargeExchangeNeedsMixedPair) {
+  const SpeciesTable table = SpeciesTable::hydrogen(1e12, 6000.0);
+  ChemistryConfig cfg;
+  cfg.cex_probability = 1.0;
+  Chemistry chem(table, cfg);
+  ParticleStore store;
+  for (int i = 0; i < 2; ++i) {
+    ParticleRecord p;
+    p.species = kSpeciesH;
+    store.add(p);
+  }
+  Rng rng(4);
+  ChemistryStats stats;
+  EXPECT_FALSE(chem.try_charge_exchange(rng, store, 0, 1, stats));
+  EXPECT_EQ(stats.charge_exchanges, 0);
+}
+
+TEST(Sampler, DensityMatchesPlacedParticles) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e10, 100.0);
+  CellSampler sampler(grid, table);
+  ParticleStore store;
+  const std::int32_t cell = grid.locate({0, 0, 0.02}, 0);
+  for (int i = 0; i < 30; ++i) {
+    ParticleRecord p;
+    p.species = kSpeciesH;
+    p.cell = cell;
+    store.add(p);
+  }
+  sampler.sample(store);
+  sampler.sample(store);  // two identical snapshots
+  const auto density = sampler.number_density(kSpeciesH);
+  EXPECT_NEAR(density[cell], 30.0 * 1e10 / grid.volume(cell),
+              1e-6 * density[cell]);
+  // Other cells empty.
+  EXPECT_DOUBLE_EQ(density[(cell + 1) % grid.num_tets()], 0.0);
+}
+
+TEST(Sampler, AxisProfileReadsCells) {
+  const mesh::NozzleSpec spec = test_spec();
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(spec);
+  std::vector<double> field(grid.num_tets());
+  for (std::int32_t t = 0; t < grid.num_tets(); ++t)
+    field[t] = grid.centroid(t).z;  // field = z coordinate
+  const auto prof = axis_profile(grid, field, spec.length, 10);
+  ASSERT_EQ(prof.size(), 10u);
+  for (int k = 1; k < 10; ++k) EXPECT_GT(prof[k], prof[k - 1] - 0.006);
+  EXPECT_LT(prof[0], prof[9]);
+}
+
+}  // namespace
+}  // namespace dsmcpic::dsmc

@@ -1,0 +1,115 @@
+// Tests for the mesh quality metrics and mesh I/O (native + VTK).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "mesh/io.hpp"
+#include "mesh/nozzle.hpp"
+#include "mesh/quality.hpp"
+#include "mesh/refine.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::mesh {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+NozzleSpec small_spec() {
+  NozzleSpec s;
+  s.radial_divisions = 4;
+  s.axial_divisions = 8;
+  return s;
+}
+
+TEST(Quality, RegularTetIsPerfect) {
+  // Regular tetrahedron: radius ratio 1, dihedral ~70.53 deg, edge ratio 1.
+  const double s = 1.0 / std::sqrt(2.0);
+  TetMesh m({{1, 0, -s}, {-1, 0, -s}, {0, 1, s}, {0, -1, s}},
+            {{{0, 1, 2, 3}}});
+  const TetQuality q = tet_quality(m, 0);
+  EXPECT_NEAR(q.radius_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(q.min_dihedral_deg, 70.5288, 1e-3);
+  EXPECT_NEAR(q.max_dihedral_deg, 70.5288, 1e-3);
+  EXPECT_NEAR(q.edge_ratio, 1.0, 1e-12);
+}
+
+TEST(Quality, SliverIsDetected) {
+  // Nearly flat tet: tiny radius ratio.
+  TetMesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.5, 0.5, 1e-3}},
+            {{{0, 1, 2, 3}}});
+  const TetQuality q = tet_quality(m, 0);
+  EXPECT_LT(q.radius_ratio, 0.05);
+  EXPECT_LT(q.min_dihedral_deg, 10.0);
+}
+
+TEST(Quality, NozzleMeshIsUsable) {
+  const TetMesh m = make_cylinder_nozzle(small_spec());
+  const QualityReport r = assess_quality(m);
+  EXPECT_EQ(r.num_tets, m.num_tets());
+  // Kuhn tets squeezed by the elliptical disc mapping are not beautiful,
+  // but must stay usable (no true slivers below 0.05 radius ratio).
+  EXPECT_GT(r.min_radius_ratio, 0.08);
+  EXPECT_GT(r.min_dihedral_deg, 8.0);
+  EXPECT_LT(r.max_edge_ratio, 6.0);
+  EXPECT_EQ(r.slivers, 0);
+  EXPECT_GT(r.min_volume, 0.0);
+  // Refinement: corner children are similar to the parent; the octahedron
+  // split can halve the worst radius ratio but no further.
+  const RefinedMesh fine = red_refine(m);
+  const QualityReport rf = assess_quality(fine.mesh);
+  EXPECT_GT(rf.min_radius_ratio, 0.4 * r.min_radius_ratio);
+  EXPECT_LT(rf.slivers, fine.mesh.num_tets() / 100);  // < 1% borderline
+}
+
+TEST(MeshIo, NativeRoundTripPreservesEverything) {
+  const NozzleSpec spec = small_spec();
+  const TetMesh m = make_cylinder_nozzle(spec);
+  const std::string path = temp_path("dsmcpic_mesh.bin");
+  write_native(m, path);
+  const TetMesh r = read_native(path);
+  ASSERT_EQ(r.num_nodes(), m.num_nodes());
+  ASSERT_EQ(r.num_tets(), m.num_tets());
+  for (std::int32_t n = 0; n < m.num_nodes(); ++n)
+    ASSERT_EQ(r.node(n), m.node(n));
+  for (std::int32_t t = 0; t < m.num_tets(); ++t) {
+    ASSERT_EQ(r.tet(t), m.tet(t));
+    for (int f = 0; f < 4; ++f) {
+      ASSERT_EQ(r.neighbor(t, f), m.neighbor(t, f));
+      ASSERT_EQ(r.face_kind(t, f), m.face_kind(t, f));
+    }
+  }
+  for (const auto k :
+       {BoundaryKind::kInlet, BoundaryKind::kOutlet, BoundaryKind::kWall})
+    EXPECT_EQ(r.boundary_faces(k).size(), m.boundary_faces(k).size());
+  std::filesystem::remove(path);
+}
+
+TEST(MeshIo, VtkRoundTripPreservesGeometry) {
+  const TetMesh m = make_cylinder_nozzle(small_spec());
+  const std::string path = temp_path("dsmcpic_mesh.vtk");
+  m.write_vtk(path);
+  const TetMesh r = read_vtk(path);
+  ASSERT_EQ(r.num_nodes(), m.num_nodes());
+  ASSERT_EQ(r.num_tets(), m.num_tets());
+  EXPECT_NEAR(r.total_volume(), m.total_volume(), 1e-9 * m.total_volume());
+  std::filesystem::remove(path);
+}
+
+TEST(MeshIo, RejectsGarbage) {
+  const std::string path = temp_path("dsmcpic_not_a_mesh.bin");
+  {
+    std::ofstream os(path);
+    os << "garbage";
+  }
+  EXPECT_THROW(read_native(path), dsmcpic::Error);
+  EXPECT_THROW(read_vtk(path), dsmcpic::Error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dsmcpic::mesh

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "par/machine.hpp"
+#include "par/runtime.hpp"
+
+namespace dsmcpic::par {
+namespace {
+
+Runtime make_runtime(int n, double pscale = 1.0, double gscale = 1.0,
+                     Placement placement = Placement::kInnerFrame) {
+  return Runtime(n, Topology(MachineProfile::tianhe2(), n, placement), pscale,
+                 gscale);
+}
+
+TEST(Topology, NodeMappingDense) {
+  const Topology t(MachineProfile::tianhe2(), 96);  // 24 cores/node
+  EXPECT_EQ(t.nodes_in_use(), 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(23), 0);
+  EXPECT_EQ(t.node_of(24), 1);
+  EXPECT_EQ(t.node_of(95), 3);
+}
+
+TEST(Topology, AlphaTiersOrdered) {
+  const MachineProfile p = MachineProfile::tianhe2();
+  // 24 cores/node, 32 nodes/frame, 4 frames/rack.
+  const int n = 24 * 32 * 4 * 2;  // spans two racks
+  const Topology t(p, n);
+  const double intra = t.alpha(0, 1);            // same node
+  const double frame = t.alpha(0, 24);           // same frame, other node
+  const double rack = t.alpha(0, 24 * 32);       // other frame, same rack
+  const double inter = t.alpha(0, 24 * 32 * 4);  // other rack
+  EXPECT_EQ(intra, p.alpha_intra_node);
+  EXPECT_EQ(frame, p.alpha_inner_frame);
+  EXPECT_EQ(rack, p.alpha_inner_rack);
+  EXPECT_EQ(inter, p.alpha_inter_rack);
+  EXPECT_LT(intra, frame);
+  EXPECT_LT(frame, rack);
+  EXPECT_LT(rack, inter);
+}
+
+TEST(Topology, PlacementChangesDistance) {
+  const MachineProfile p = MachineProfile::tianhe2();
+  const int n = 96;  // 4 nodes
+  const Topology dense(p, n, Placement::kInnerFrame);
+  const Topology spread(p, n, Placement::kInterRack);
+  // Ranks on different nodes: dense keeps them in one frame, inter-rack
+  // placement puts every node in its own rack.
+  EXPECT_EQ(dense.alpha(0, 95), p.alpha_inner_frame);
+  EXPECT_EQ(spread.alpha(0, 95), p.alpha_inter_rack);
+  // Same node is intra-node under every placement.
+  EXPECT_EQ(spread.alpha(0, 1), p.alpha_intra_node);
+}
+
+TEST(Topology, InnerRackSpreadsAcrossFrames) {
+  const MachineProfile p = MachineProfile::tianhe2();
+  const Topology t(p, 24 * 8, Placement::kInnerRack);
+  // Slots 0 and 1 land in different frames of the same rack.
+  EXPECT_NE(t.frame_of(0), t.frame_of(24));
+  EXPECT_EQ(t.rack_of(0), t.rack_of(24));
+}
+
+TEST(Runtime, MessageDeliveryNextSuperstep) {
+  Runtime rt = make_runtime(3);
+  rt.superstep("send", [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> payload{1, 2, 3};
+      c.send_pod<int>(2, 5, payload);
+    }
+    EXPECT_TRUE(c.inbox().empty());
+  });
+  int delivered = 0;
+  rt.superstep("recv", [&](Comm& c) {
+    for (const auto& m : c.inbox()) {
+      EXPECT_EQ(c.rank(), 2);
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 5);
+      const auto v = m.decode<int>();
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_EQ(v[2], 3);
+      ++delivered;
+    }
+  });
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Runtime, InboxClearedAfterSuperstep) {
+  Runtime rt = make_runtime(2);
+  rt.superstep("a", [](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, {});
+  });
+  rt.superstep("b", [](Comm& c) {
+    if (c.rank() == 1) EXPECT_EQ(c.inbox().size(), 1u);
+  });
+  rt.superstep("c", [](Comm& c) { EXPECT_TRUE(c.inbox().empty()); });
+}
+
+TEST(Runtime, ChargeAdvancesClockAndBusy) {
+  Runtime rt = make_runtime(2);
+  rt.superstep("work", [](Comm& c) {
+    if (c.rank() == 0) c.charge(WorkKind::kMove, 1000.0);
+  });
+  const double cost =
+      1000.0 *
+      MachineProfile::tianhe2().costs[static_cast<int>(WorkKind::kMove)];
+  EXPECT_DOUBLE_EQ(rt.clock(0), cost);
+  EXPECT_DOUBLE_EQ(rt.clock(1), 0.0);
+  EXPECT_DOUBLE_EQ(rt.phase_stats("work").busy_max, cost);
+  EXPECT_DOUBLE_EQ(rt.phase_stats("work").busy_min, 0.0);
+}
+
+TEST(Runtime, CostClassScalesApply) {
+  Runtime rt = make_runtime(1, /*pscale=*/100.0, /*gscale=*/3.0);
+  rt.superstep("p", [](Comm& c) { c.charge(WorkKind::kMove, 1.0); });
+  rt.superstep("g", [](Comm& c) { c.charge(WorkKind::kSpmvFlop, 1.0); });
+  const auto& costs = MachineProfile::tianhe2().costs;
+  EXPECT_DOUBLE_EQ(rt.phase_stats("p").busy_max,
+                   100.0 * costs[static_cast<int>(WorkKind::kMove)]);
+  EXPECT_DOUBLE_EQ(rt.phase_stats("g").busy_max,
+                   3.0 * costs[static_cast<int>(WorkKind::kSpmvFlop)]);
+}
+
+TEST(Runtime, BarrierAlignsClocks) {
+  Runtime rt = make_runtime(3);
+  rt.superstep("w", [](Comm& c) {
+    c.charge(WorkKind::kGeneric, 1e6 * (c.rank() + 1));
+  });
+  EXPECT_LT(rt.clock(0), rt.clock(2));
+  rt.barrier("sync");
+  EXPECT_DOUBLE_EQ(rt.clock(0), rt.clock(2));
+  EXPECT_GE(rt.clock(0), 3e-3);  // at least the largest pre-barrier clock
+}
+
+TEST(Runtime, AllreduceSumAndExtremes) {
+  Runtime rt = make_runtime(4);
+  const std::vector<double> vals{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rt.allreduce_sum("x", vals), 10.0);
+  EXPECT_DOUBLE_EQ(rt.allreduce_max("x", vals), 4.0);
+  EXPECT_DOUBLE_EQ(rt.allreduce_min("x", vals), 1.0);
+}
+
+TEST(Runtime, AllreduceSumVecElementwise) {
+  Runtime rt = make_runtime(3);
+  const std::vector<std::vector<double>> per_rank{{1, 10}, {2, 20}, {3, 30}};
+  const auto sum = rt.allreduce_sum_vec("x", per_rank);
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum[0], 6.0);
+  EXPECT_DOUBLE_EQ(sum[1], 60.0);
+}
+
+TEST(Runtime, ExscanSum) {
+  Runtime rt = make_runtime(4);
+  const std::vector<std::int64_t> vals{5, 3, 2, 7};
+  const auto off = rt.exscan_sum("x", vals);
+  EXPECT_EQ(off, (std::vector<std::int64_t>{0, 5, 8, 10}));
+}
+
+TEST(Runtime, MessageCostChargedToBothEndpoints) {
+  Runtime rt = make_runtime(2);
+  std::vector<std::byte> payload(1000);
+  rt.superstep("comm", [&](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, payload);
+  });
+  const MachineProfile p = MachineProfile::tianhe2();
+  // Both ranks are on one node: alpha intra; small congestion for 1 message.
+  const double expected_min = p.alpha_intra_node + 1000.0 * p.beta;
+  EXPECT_GE(rt.clock(0), expected_min);
+  EXPECT_GE(rt.clock(1), expected_min);
+  EXPECT_EQ(rt.phase_stats("comm").transactions, 1u);
+  EXPECT_DOUBLE_EQ(rt.phase_stats("comm").bytes, 1000.0);
+}
+
+TEST(Runtime, CongestionHintRaisesCost) {
+  Runtime rt1 = make_runtime(2);
+  Runtime rt2 = make_runtime(2);
+  std::vector<std::byte> payload(8);
+  rt1.superstep("c", [&](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, payload);
+  });
+  rt2.hint_round_transactions(1000000);
+  rt2.superstep("c", [&](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, payload);
+  });
+  EXPECT_GT(rt2.clock(0), rt1.clock(0) * 10.0);
+}
+
+TEST(Runtime, GatherSerializesAtRoot) {
+  Runtime rt = make_runtime(8);
+  rt.charge_gather("g", 0, 1000.0);
+  // Root pays ~7 transfers, everyone else one.
+  EXPECT_GT(rt.clock(0), 5.0 * rt.clock(1));
+}
+
+TEST(Runtime, BusyTotalsAcrossPhases) {
+  Runtime rt = make_runtime(2);
+  rt.superstep("a", [](Comm& c) {
+    if (c.rank() == 0) c.charge(WorkKind::kGeneric, 1e6);
+  });
+  rt.superstep("b", [](Comm& c) {
+    if (c.rank() == 1) c.charge(WorkKind::kGeneric, 1e6);
+  });
+  const std::vector<std::string> both{"a", "b"};
+  const auto tot = rt.busy_totals(both);
+  EXPECT_DOUBLE_EQ(tot[0], tot[1]);
+  EXPECT_GT(tot[0], 0.0);
+  const auto all = rt.busy_all();
+  EXPECT_DOUBLE_EQ(all[0], tot[0]);
+}
+
+TEST(Runtime, DeterministicAcrossRuns) {
+  auto run = [] {
+    Runtime rt = make_runtime(4);
+    for (int s = 0; s < 5; ++s) {
+      rt.superstep("w", [s](Comm& c) {
+        c.charge(WorkKind::kMove, 100.0 * (c.rank() + s));
+        const std::vector<double> x{1.0};
+        if (c.rank() > 0) c.send_pod<double>(c.rank() - 1, 0, x);
+      });
+    }
+    rt.barrier("end");
+    return rt.total_time();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Runtime, SendOwnedAndViewRoundTrip) {
+  Runtime rt = make_runtime(2);
+  rt.superstep("a", [](Comm& c) {
+    if (c.rank() != 0) return;
+    std::vector<double> vals{1.5, -2.5, 3.25};
+    c.send_pod_vec(1, 9, vals, CostClass::kGrid);
+  });
+  rt.superstep("b", [](Comm& c) {
+    if (c.rank() != 1) return;
+    ASSERT_EQ(c.inbox().size(), 1u);
+    const auto v = c.inbox()[0].view<double>();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 1.5);
+    EXPECT_DOUBLE_EQ(v[1], -2.5);
+    EXPECT_DOUBLE_EQ(v[2], 3.25);
+  });
+}
+
+TEST(Runtime, GridScaleAppliesToGridPayloads) {
+  // Same payload, particle- vs grid-class: byte costs differ by the scale
+  // ratio (latency term subtracted out by comparing against a baseline).
+  auto comm_cost = [](CostClass cls, double pscale, double gscale) {
+    Runtime rt(2, Topology(MachineProfile::tianhe2(), 2), pscale, gscale);
+    std::vector<std::byte> payload(100000);
+    rt.superstep("x", [&](Comm& c) {
+      if (c.rank() == 0) c.send(1, 0, payload, cls);
+    });
+    return rt.phase_stats("x").bytes;
+  };
+  EXPECT_DOUBLE_EQ(comm_cost(CostClass::kParticle, 7.0, 3.0), 700000.0);
+  EXPECT_DOUBLE_EQ(comm_cost(CostClass::kGrid, 7.0, 3.0), 300000.0);
+}
+
+TEST(Runtime, PhaseStatsForUnknownPhaseAreZero) {
+  Runtime rt = make_runtime(2);
+  const PhaseStats s = rt.phase_stats("never-used");
+  EXPECT_EQ(s.busy_max, 0.0);
+  EXPECT_EQ(s.transactions, 0u);
+}
+
+TEST(Runtime, ChargeRankOutsideSuperstep) {
+  Runtime rt = make_runtime(3);
+  rt.charge_rank("p", 1, WorkKind::kPartitionEdge, 1e6);
+  EXPECT_GT(rt.clock(1), 0.0);
+  EXPECT_EQ(rt.clock(0), 0.0);
+  EXPECT_GT(rt.phase_stats("p").busy_max, 0.0);
+}
+
+TEST(MachineProfiles, ThreePlatformsDiffer) {
+  const auto t2 = MachineProfile::tianhe2();
+  const auto bs = MachineProfile::bscc();
+  const auto t3 = MachineProfile::tianhe3();
+  EXPECT_EQ(t2.cores_per_node, 24);
+  EXPECT_EQ(bs.cores_per_node, 96);
+  EXPECT_EQ(t3.cores_per_node, 64);
+  // ARM cores are slower per-core, BSCC faster than Tianhe-2.
+  const int mv = static_cast<int>(WorkKind::kMove);
+  EXPECT_GT(t3.costs[mv], t2.costs[mv]);
+  EXPECT_LT(bs.costs[mv], t2.costs[mv]);
+  // Bandwidth ordering: Tianhe-3 200Gbps > Tianhe-2 160 > BSCC 100.
+  EXPECT_LT(t3.beta, t2.beta);
+  EXPECT_LT(t2.beta, bs.beta);
+}
+
+}  // namespace
+}  // namespace dsmcpic::par

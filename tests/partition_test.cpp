@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "mesh/nozzle.hpp"
+#include "partition/graph.hpp"
+#include "partition/partitioner.hpp"
+#include "support/rng.hpp"
+
+namespace dsmcpic::partition {
+namespace {
+
+/// 2D grid graph (nx x ny), unit weights.
+Graph grid_graph(int nx, int ny) {
+  Graph g;
+  const int nv = nx * ny;
+  auto id = [nx](int x, int y) { return y * nx + x; };
+  std::vector<std::vector<std::int32_t>> adj(nv);
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x) {
+      if (x + 1 < nx) {
+        adj[id(x, y)].push_back(id(x + 1, y));
+        adj[id(x + 1, y)].push_back(id(x, y));
+      }
+      if (y + 1 < ny) {
+        adj[id(x, y)].push_back(id(x, y + 1));
+        adj[id(x, y + 1)].push_back(id(x, y));
+      }
+    }
+  g.xadj.assign(nv + 1, 0);
+  for (int v = 0; v < nv; ++v) g.xadj[v + 1] = g.xadj[v] + adj[v].size();
+  for (int v = 0; v < nv; ++v)
+    for (auto u : adj[v]) g.adjncy.push_back(u);
+  return g;
+}
+
+TEST(Graph, ValidateAcceptsGrid) {
+  const Graph g = grid_graph(5, 4);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 2 * (4 * 4 + 5 * 3));
+}
+
+TEST(Graph, ValidateRejectsAsymmetry) {
+  Graph g;
+  g.xadj = {0, 1, 1};
+  g.adjncy = {1};  // 0 -> 1 but not 1 -> 0
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Graph, EdgeCutAndImbalance) {
+  const Graph g = grid_graph(4, 1);  // path of 4
+  const std::vector<std::int32_t> part{0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(g, part), 1);
+  EXPECT_DOUBLE_EQ(imbalance(g, part, 2), 1.0);
+  const std::vector<std::int32_t> bad{0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(imbalance(g, bad, 2), 1.5);
+}
+
+TEST(Partitioner, BisectsGridEvenly) {
+  const Graph g = grid_graph(16, 16);
+  const PartitionResult r = part_graph_kway(g, 2);
+  EXPECT_LE(r.imbalance, 1.06);
+  // Ideal bisection of a 16x16 grid cuts 16 edges; allow some slack.
+  EXPECT_LE(r.cut, 28);
+  EXPECT_EQ(edge_cut(g, r.part), r.cut);
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const Graph g = grid_graph(4, 4);
+  const PartitionResult r = part_graph_kway(g, 1);
+  EXPECT_EQ(r.cut, 0);
+  for (auto p : r.part) EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioner, RespectsVertexWeights) {
+  // Path graph with one very heavy vertex: it should sit alone-ish.
+  Graph g = grid_graph(10, 1);
+  g.vwgt.assign(10, 1);
+  g.vwgt[0] = 9;  // total 18, ideal 9 per side
+  const PartitionResult r = part_graph_kway(g, 2);
+  EXPECT_LE(r.imbalance, 1.13);
+  // The heavy vertex's side holds few other vertices.
+  int heavy_side = r.part[0];
+  int same = 0;
+  for (int v = 0; v < 10; ++v)
+    if (r.part[v] == heavy_side) ++same;
+  EXPECT_LE(same, 3);
+}
+
+TEST(Partitioner, MoreVerticesThanPartsDegenerate) {
+  const Graph g = grid_graph(3, 1);
+  const PartitionResult r = part_graph_kway(g, 3);
+  std::set<std::int32_t> used(r.part.begin(), r.part.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(Partitioner, DeterministicForFixedSeed) {
+  const Graph g = grid_graph(12, 12);
+  PartitionOptions opt;
+  opt.seed = 77;
+  const auto a = part_graph_kway(g, 4, opt);
+  const auto b = part_graph_kway(g, 4, opt);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Partitioner, NozzleDualGraph) {
+  mesh::NozzleSpec s;
+  s.radial_divisions = 4;
+  s.axial_divisions = 8;
+  const mesh::TetMesh m = mesh::make_cylinder_nozzle(s);
+  Graph g;
+  m.dual_graph(g.xadj, g.adjncy);
+  g.validate();
+  const PartitionResult r = part_graph_kway(g, 8);
+  EXPECT_LE(r.imbalance, 1.10);
+  // Cut should be far below total edges (spatial locality).
+  EXPECT_LT(r.cut, g.num_edges() / 2 / 4);
+}
+
+TEST(KwayRefine, ReducesCutWithoutBreakingBalance) {
+  const Graph g = grid_graph(20, 20);
+  PartitionOptions opt;
+  opt.kway_refine_passes = 0;  // raw recursive bisection
+  PartitionResult raw = part_graph_kway(g, 6, opt);
+  std::vector<std::int32_t> part = raw.part;
+  const std::int64_t gain = kway_refine(g, part, 6, 1.08, 4);
+  EXPECT_GE(gain, 0);
+  EXPECT_EQ(edge_cut(g, part), raw.cut - gain);
+  EXPECT_LE(imbalance(g, part, 6), 1.10);
+}
+
+TEST(KwayRefine, FixesObviouslyBadAssignment) {
+  // Path graph with an alternating partition: refinement must consolidate.
+  const Graph g = grid_graph(16, 1);
+  std::vector<std::int32_t> part(16);
+  for (int v = 0; v < 16; ++v) part[v] = v % 2;
+  const std::int64_t before = edge_cut(g, part);
+  kway_refine(g, part, 2, 1.2, 8);
+  EXPECT_LT(edge_cut(g, part), before);
+  EXPECT_LE(imbalance(g, part, 2), 1.25);
+}
+
+TEST(KwayRefine, DefaultOptionsIncludeRefinement) {
+  const Graph g = grid_graph(24, 24);
+  PartitionOptions with;
+  PartitionOptions without;
+  without.kway_refine_passes = 0;
+  const auto a = part_graph_kway(g, 8, with);
+  const auto b = part_graph_kway(g, 8, without);
+  EXPECT_LE(a.cut, b.cut);  // refinement can only help (or tie)
+}
+
+/// Parameterized sweep: balance holds across part counts and weight skews.
+class KwayTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(KwayTest, BalancedAndComplete) {
+  const auto [k, skewed] = GetParam();
+  Graph g = grid_graph(20, 20);
+  if (skewed) {
+    // Exponential-ish weight gradient across the grid (mimics the particle
+    // pile-up near the inlet that drives the paper's Fig. 5 imbalance).
+    g.vwgt.resize(400);
+    Rng rng(11);
+    for (int v = 0; v < 400; ++v)
+      g.vwgt[v] = 1 + (v % 20 == 0 ? 50 : 0) + static_cast<std::int64_t>(
+                                                   rng.uniform_index(5));
+  }
+  const PartitionResult r = part_graph_kway(g, k);
+  ASSERT_EQ(static_cast<int>(r.part.size()), 400);
+  std::vector<std::int64_t> weight(k, 0);
+  for (int v = 0; v < 400; ++v) {
+    ASSERT_GE(r.part[v], 0);
+    ASSERT_LT(r.part[v], k);
+    weight[r.part[v]] += g.vertex_weight(v);
+  }
+  // Every part non-empty and max within ~20% of ideal (recursive bisection
+  // compounds tolerance across levels).
+  for (int p = 0; p < k; ++p) EXPECT_GT(weight[p], 0) << "part " << p;
+  EXPECT_LE(r.imbalance, 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartCounts, KwayTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 8, 16, 24),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace dsmcpic::partition

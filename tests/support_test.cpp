@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/vec3.hpp"
+
+namespace dsmcpic {
+namespace {
+
+TEST(Error, CheckThrowsWithContext) {
+  EXPECT_NO_THROW(DSMCPIC_CHECK(1 + 1 == 2));
+  try {
+    DSMCPIC_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(123, 0), b(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[r.uniform_index(10)];
+  for (int h : hits) EXPECT_GT(h, 800);  // ~1000 each
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(99);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, DeriveStreamSeedDiffers) {
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(1, 1));
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+  EXPECT_NEAR(Vec3(3, 4, 0).normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, TripleProductIsSignedVolume) {
+  EXPECT_DOUBLE_EQ(triple({1, 0, 0}, {0, 1, 0}, {0, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(triple({0, 1, 0}, {1, 0, 0}, {0, 0, 1}), -1.0);
+}
+
+TEST(Cli, ParsesTypesAndDefaults) {
+  Cli cli("test");
+  const auto* s = cli.add_string("name", "def", "a string");
+  const auto* i = cli.add_int("count", 3, "an int");
+  const auto* d = cli.add_double("ratio", 0.5, "a double");
+  const auto* f = cli.add_flag("verbose", false, "a flag");
+  const char* argv[] = {"prog", "--name", "abc", "--count=7", "--verbose",
+                        "pos1"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(*s, "abc");
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+  EXPECT_TRUE(*f);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  Cli cli("test");
+  cli.add_int("n", 1, "");
+  const char* bad1[] = {"prog", "--unknown", "3"};
+  EXPECT_THROW(cli.parse(3, bad1), Error);
+  Cli cli2("test");
+  cli2.add_int("n", 1, "");
+  const char* bad2[] = {"prog", "--n", "xyz"};
+  EXPECT_THROW(cli2.parse(3, bad2), Error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.header({"a", "bbbb"});
+  t.row({"xxxx", "y"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  EXPECT_EQ(Table::num(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.373), "+37.3%");
+}
+
+TEST(Stats, BasicMoments) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(relative_stddev(v), std::sqrt(2.5) / 3.0, 1e-12);
+}
+
+TEST(Stats, MeanRelativeErrorSkipsNearZeroReference) {
+  const std::vector<double> a{1.1, 2.2, 5.0};
+  const std::vector<double> b{1.0, 2.0, 0.0};
+  EXPECT_NEAR(mean_relative_error(a, b), 0.1, 1e-12);  // third pair skipped
+}
+
+}  // namespace
+}  // namespace dsmcpic
