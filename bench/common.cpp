@@ -25,6 +25,11 @@ CommonFlags::CommonFlags(Cli& cli, const std::string& default_ranks,
   machine_ = cli.add_string("machine", "tianhe2",
                             "machine profile: tianhe2 | bscc | tianhe3");
   seed_ = cli.add_int("seed", 42, "base RNG seed");
+  exec_mode_ = cli.add_string(
+      "exec-mode", "seq",
+      "superstep execution backend: seq | threaded (bit-identical results)");
+  threads_ = cli.add_int(
+      "threads", 0, "worker lanes for --exec-mode threaded (0 = all cores)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -34,6 +39,8 @@ BenchOptions CommonFlags::finish() const {
   o.particle_scale = *particles_;
   o.machine = *machine_;
   o.seed = static_cast<std::uint64_t>(*seed_);
+  o.exec_mode = par::parse_exec_mode(*exec_mode_);
+  o.exec_threads = static_cast<int>(*threads_);
   return o;
 }
 
@@ -69,6 +76,8 @@ core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
   par.balance.cell_weight = 1.0;
   par.particle_scale = ds.paper_particle_scale;
   par.grid_scale = ds.paper_grid_scale;
+  par.exec_mode = opt.exec_mode;
+  par.exec_threads = opt.exec_threads;
   return par;
 }
 

@@ -20,6 +20,10 @@ struct BenchOptions {
   double particle_scale = 1.0;  // multiplies dataset particle targets
   std::string machine = "tianhe2";
   std::uint64_t seed = 42;
+  // Superstep execution backend (wall-clock only; virtual times and all
+  // reported numbers are bit-identical across modes).
+  par::ExecMode exec_mode = par::ExecMode::kSequential;
+  int exec_threads = 0;  // <= 0: one lane per hardware thread
 
   par::MachineProfile profile() const;
 };
@@ -36,6 +40,8 @@ class CommonFlags {
   const double* particles_;
   const std::string* machine_;
   const std::int64_t* seed_;
+  const std::string* exec_mode_;
+  const std::int64_t* threads_;
 };
 
 /// Parses "24,48,96" into {24, 48, 96}.

@@ -12,6 +12,7 @@
 #include "linalg/krylov.hpp"
 #include "mesh/nozzle.hpp"
 #include "par/machine.hpp"
+#include "par/runtime.hpp"
 #include "pic/poisson.hpp"
 
 namespace dsmcpic::core {
@@ -68,6 +69,14 @@ struct ParallelConfig {
   double grid_scale = 1.0;
   exchange::Strategy strategy = exchange::Strategy::kDistributed;
   balance::RebalanceConfig balance;
+  /// Superstep execution backend. kThreaded runs rank bodies on a worker
+  /// pool; results (virtual clocks, diagnostics, physics) are bit-identical
+  /// to kSequential — only wall-clock changes. Not part of the checkpoint
+  /// fingerprint, so a threaded run may restore a sequential checkpoint and
+  /// vice versa.
+  par::ExecMode exec_mode = par::ExecMode::kSequential;
+  /// Worker lanes for kThreaded; <= 0 means one per hardware thread.
+  int exec_threads = 0;
 };
 
 /// Phase labels (paper Fig. 1). Used as runtime phase keys everywhere so

@@ -48,7 +48,8 @@ void CoupledSolver::init() {
 
   rt_ = std::make_unique<par::Runtime>(
       nranks, par::Topology(pcfg_.profile, nranks, pcfg_.placement),
-      pcfg_.particle_scale, pcfg_.grid_scale);
+      pcfg_.particle_scale, pcfg_.grid_scale,
+      par::ExecOptions{pcfg_.exec_mode, pcfg_.exec_threads});
 
   psys_ = std::make_unique<pic::PoissonSystem>(refined_.mesh, cfg_.poisson_bcs);
   phi_global_.assign(static_cast<std::size_t>(psys_->num_nodes()), 0.0);
@@ -130,7 +131,9 @@ void CoupledSolver::rebuild_parallel_structures(const std::string& phase,
 }
 
 void CoupledSolver::do_inject(StepDiagnostics& diag) {
-  std::int64_t injected_total = 0;
+  // Per-rank accumulation: superstep bodies may run concurrently, so each
+  // rank writes its own slot; the driver reduces afterwards.
+  std::vector<std::int64_t> injected(pcfg_.nranks, 0);
   if (cfg_.inject_round_robin) {
     inject_h_->begin_step(species_, cfg_.dt_dsmc, step_);
     inject_hplus_->begin_step(species_, cfg_.dt_dsmc, step_);
@@ -149,9 +152,9 @@ void CoupledSolver::do_inject(StepDiagnostics& diag) {
     }
     removed_[r].resize(stores_[r].size(), 0);
     c.charge(par::WorkKind::kInject, static_cast<double>(n_h + n_hp));
-    injected_total += n_h + n_hp;
+    injected[r] = n_h + n_hp;
   });
-  diag.injected = injected_total;
+  for (const std::int64_t n : injected) diag.injected += n;
 }
 
 void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
@@ -185,6 +188,10 @@ void CoupledSolver::do_reindex() {
 }
 
 void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
+  struct RankStats {
+    std::int64_t collisions = 0, ionizations = 0, recombinations = 0;
+  };
+  std::vector<RankStats> per_rank(pcfg_.nranks);
   rt_->superstep(phases::kColliReact, [&](par::Comm& c) {
     const int r = c.rank();
     const dsmc::CellIndex index(stores_[r], coarse_.num_tets());
@@ -197,10 +204,13 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
     c.charge(par::WorkKind::kCollide, static_cast<double>(cs.candidates));
     c.charge(par::WorkKind::kReact,
              static_cast<double>(cs.ionizations + rs.recombinations));
-    diag.collisions += cs.collisions;
-    diag.ionizations += cs.ionizations;
-    diag.recombinations += rs.recombinations;
+    per_rank[r] = {cs.collisions, cs.ionizations, rs.recombinations};
   });
+  for (const RankStats& s : per_rank) {
+    diag.collisions += s.collisions;
+    diag.ionizations += s.ionizations;
+    diag.recombinations += s.recombinations;
+  }
 }
 
 void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {

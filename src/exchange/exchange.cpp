@@ -113,7 +113,9 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
                                    std::span<const std::int32_t> cell_owner) {
   const int nranks = rt.size();
   ExchangeStats stats;
-  std::int64_t migrated = 0;
+  // Per-rank migration counts: bodies may run on worker threads, so each
+  // rank writes only its own slot and the driver reduces afterwards.
+  std::vector<std::int64_t> migrated(nranks, 0);
 
   // The paper's implementation performs a synchronized two-round send/recv
   // across ALL ordered pairs (Sec. IV-B2), i.e. N(N-1) transactions even
@@ -135,7 +137,7 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
         c.charge_comm_seconds(2.0 * c.alpha_to(peer));
         continue;
       }
-      migrated += static_cast<std::int64_t>(it->second.size());
+      migrated[r] += static_cast<std::int64_t>(it->second.size());
       c.charge(par::WorkKind::kClassify, static_cast<double>(it->second.size()));
       c.charge(par::WorkKind::kPackByte,
                static_cast<double>(it->second.size() * sizeof(ParticleRecord)));
@@ -150,7 +152,7 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
     removed[r].assign(stores[r].size(), 0);
   });
 
-  stats.migrated = migrated;
+  for (const std::int64_t m : migrated) stats.migrated += m;
   for (int r = 0; r < nranks; ++r)
     stats.kept += static_cast<std::int64_t>(stores[r].size());
   stats.kept -= stats.migrated;
@@ -169,7 +171,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
   auto leader_of = [ppn](int rank) { return (rank / ppn) * ppn; };
 
   ExchangeStats stats;
-  std::int64_t migrated = 0;
+  std::vector<std::int64_t> migrated(nranks, 0);  // per rank; reduced below
 
   // Stage 1 — funnel: every rank classifies and ships its whole outgoing
   // set to its node leader (leaders keep theirs locally).
@@ -181,7 +183,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
     c.charge(par::WorkKind::kScan, static_cast<double>(stores[r].size()));
     std::vector<ParticleRecord> all;
     for (auto& [dest, recs] : outgoing) {
-      migrated += static_cast<std::int64_t>(recs.size());
+      migrated[r] += static_cast<std::int64_t>(recs.size());
       all.insert(all.end(), recs.begin(), recs.end());
     }
     const int leader = leader_of(r);
@@ -260,7 +262,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
     removed[r].assign(stores[r].size(), 0);
   });
 
-  stats.migrated = migrated;
+  for (const std::int64_t m : migrated) stats.migrated += m;
   for (int r = 0; r < nranks; ++r)
     stats.kept += static_cast<std::int64_t>(stores[r].size());
   stats.kept -= stats.migrated;

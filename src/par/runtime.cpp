@@ -38,7 +38,8 @@ void Comm::send_owned(int dst, int tag, std::vector<std::byte>&& payload,
   m.tag = tag;
   m.byte_scale = rt_->scale_of(cls);
   m.payload = std::move(payload);
-  rt_->staged_.push_back(std::move(m));
+  // Sender-private buffer: safe under concurrent superstep bodies.
+  rt_->staged_[rank_].push_back(std::move(m));
 }
 
 const std::vector<Message>& Comm::inbox() const {
@@ -58,19 +59,37 @@ double Comm::alpha_to(int peer) const {
 // ---- Runtime ----------------------------------------------------------------
 
 Runtime::Runtime(int nranks, Topology topology, double particle_scale,
-                 double grid_scale)
+                 double grid_scale, ExecOptions exec)
     : nranks_(nranks),
       topo_(std::move(topology)),
       particle_scale_(particle_scale),
       grid_scale_(grid_scale),
+      exec_(exec),
       clocks_(nranks, 0.0),
       pending_(nranks),
-      inbox_(nranks) {
+      inbox_(nranks),
+      staged_(nranks) {
   DSMCPIC_CHECK_MSG(nranks >= 1, "runtime needs at least one rank");
   DSMCPIC_CHECK_MSG(topo_.nranks() == nranks,
                     "topology sized for " << topo_.nranks() << " ranks, not "
                                           << nranks);
   DSMCPIC_CHECK(particle_scale > 0.0 && grid_scale > 0.0);
+  if (exec_.mode == ExecMode::kThreaded && nranks > 1)
+    pool_ = std::make_unique<support::ThreadPool>(exec_.threads);
+}
+
+int Runtime::exec_threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+ExecMode parse_exec_mode(const std::string& name) {
+  if (name == "seq" || name == "sequential") return ExecMode::kSequential;
+  if (name == "threaded") return ExecMode::kThreaded;
+  DSMCPIC_CHECK_MSG(false,
+                    "unknown exec mode '" << name << "' (seq | threaded)");
+  return ExecMode::kSequential;
+}
+
+const char* exec_mode_name(ExecMode mode) {
+  return mode == ExecMode::kThreaded ? "threaded" : "seq";
 }
 
 int Runtime::phase_id(const std::string& phase) {
@@ -95,6 +114,9 @@ double Runtime::tree_stages() const {
 
 void Runtime::superstep(const std::string& phase,
                         const std::function<void(Comm&)>& fn) {
+  // The phase id is registered here, on the driver thread, before any body
+  // runs: Comm::charge on worker threads only ever *reads* the id, so the
+  // phase registry map is never mutated concurrently.
   const int pid = phase_id(phase);
   // Deliver messages produced in the previous superstep.
   for (int r = 0; r < nranks_; ++r) inbox_[r] = std::move(pending_[r]);
@@ -102,45 +124,69 @@ void Runtime::superstep(const std::string& phase,
 
   in_superstep_ = true;
   current_phase_for_comm_ = pid;
-  staged_.clear();
-  for (int r = 0; r < nranks_; ++r) {
-    Comm c(this, r);
-    fn(c);
+  for (auto& s : staged_) s.clear();
+  if (pool_) {
+    // Each rank writes only its own slots (clock, busy row entry, staging
+    // buffer, its caller-side state), so the dynamic schedule cannot change
+    // any result. parallel_for's join orders all writes before the merge.
+    pool_->parallel_for(nranks_, [&](int r) {
+      Comm c(this, r);
+      fn(c);
+    });
+  } else {
+    for (int r = 0; r < nranks_; ++r) {
+      Comm c(this, r);
+      fn(c);
+    }
   }
   in_superstep_ = false;
   route_messages(pid);
   for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
 }
 
+std::size_t Runtime::staged_count() const {
+  std::size_t n = 0;
+  for (const auto& s : staged_) n += s.size();
+  return n;
+}
+
 void Runtime::route_messages(int phase) {
   const std::uint64_t hint = congestion_hint_;
   congestion_hint_ = 0;  // one-shot
   apply_nic_serialization(phase, hint);
-  if (staged_.empty()) return;
+  const std::size_t staged = staged_count();
+  if (staged == 0) return;
   const MachineProfile& prof = topo_.profile();
   // Congestion: extra latency when a routing round carries many concurrent
   // transactions per node (switch/NIC pressure); this is what separates the
   // distributed N(N-1)-transaction strategy from the centralized 2N one at
   // scale (paper Sec. IV-B3, Fig. 11).
   const double round_transactions =
-      hint ? static_cast<double>(hint) : static_cast<double>(staged_.size());
+      hint ? static_cast<double>(hint) : static_cast<double>(staged);
   const double per_node = round_transactions / std::max(1, topo_.nodes_in_use());
   const double congestion_mult = 1.0 + prof.congestion * per_node;
 
-  for (Message& m : staged_) {
-    const double bytes = static_cast<double>(m.payload.size()) * m.byte_scale;
-    const double cost =
-        topo_.alpha(m.src, m.dst) * congestion_mult + bytes * prof.beta;
-    // Rendezvous: both endpoints are busy for the transfer.
-    clocks_[m.src] += cost;
-    charge_busy(m.src, phase, cost);
-    clocks_[m.dst] += cost;
-    charge_busy(m.dst, phase, cost);
-    phase_transactions_[phase] += 1;
-    phase_bytes_[phase] += bytes;
-    pending_[m.dst].push_back(std::move(m));
+  // Merge the per-sender buffers in (src rank, send order): each inbox
+  // receives its messages sorted by source rank, ties broken by the order
+  // the source sent them. This is a documented guarantee (par_test
+  // InboxOrderingIsSrcMajorSendOrder) and matches what the sequential
+  // 0..N-1 execution produced before per-rank staging existed.
+  for (auto& buf : staged_) {
+    for (Message& m : buf) {
+      const double bytes = static_cast<double>(m.payload.size()) * m.byte_scale;
+      const double cost =
+          topo_.alpha(m.src, m.dst) * congestion_mult + bytes * prof.beta;
+      // Rendezvous: both endpoints are busy for the transfer.
+      clocks_[m.src] += cost;
+      charge_busy(m.src, phase, cost);
+      clocks_[m.dst] += cost;
+      charge_busy(m.dst, phase, cost);
+      phase_transactions_[phase] += 1;
+      phase_bytes_[phase] += bytes;
+      pending_[m.dst].push_back(std::move(m));
+    }
+    buf.clear();
   }
-  staged_.clear();
 }
 
 void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
@@ -164,12 +210,14 @@ void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
     const double per_node = static_cast<double>(hint) * inter_share / nodes;
     std::fill(load.begin(), load.end(), per_node);
   } else {
-    for (const Message& m : staged_) {
-      const int ns = m.src / ppn;
-      const int nd = m.dst / ppn;
-      if (ns == nd) continue;
-      load[ns] += 1.0;
-      load[nd] += 1.0;
+    for (const auto& buf : staged_) {
+      for (const Message& m : buf) {
+        const int ns = m.src / ppn;
+        const int nd = m.dst / ppn;
+        if (ns == nd) continue;
+        load[ns] += 1.0;
+        load[nd] += 1.0;
+      }
     }
   }
 
@@ -357,7 +405,7 @@ std::vector<double> Runtime::busy_all() const {
 std::vector<std::string> Runtime::phases() const { return phase_names_; }
 
 void Runtime::save(std::ostream& os) const {
-  DSMCPIC_CHECK_MSG(staged_.empty(), "cannot checkpoint mid-superstep");
+  DSMCPIC_CHECK_MSG(staged_count() == 0, "cannot checkpoint mid-superstep");
   for (const auto& p : pending_)
     DSMCPIC_CHECK_MSG(p.empty(), "cannot checkpoint with undelivered messages");
   io::write_vec(os, clocks_);

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,8 +35,24 @@
 #include "par/machine.hpp"
 #include "par/work.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dsmcpic::par {
+
+/// How superstep bodies are executed. Both modes produce bit-identical
+/// results (clocks, phase stats, message ordering, physics) — kThreaded
+/// only changes wall-clock time, never virtual time. See DESIGN.md §2c.
+enum class ExecMode { kSequential, kThreaded };
+
+struct ExecOptions {
+  ExecMode mode = ExecMode::kSequential;
+  /// Worker lanes for kThreaded; <= 0 means one per hardware thread.
+  int threads = 0;
+};
+
+/// Parses "seq" / "sequential" / "threaded" (throws on anything else).
+ExecMode parse_exec_mode(const std::string& name);
+const char* exec_mode_name(ExecMode mode);
 
 struct Message {
   int src = -1;
@@ -145,9 +162,12 @@ class Runtime {
   /// particle-proportional charges and payload bytes, `grid_scale`
   /// grid-proportional ones (solver flops, assembly, field halos).
   Runtime(int nranks, Topology topology, double particle_scale = 1.0,
-          double grid_scale = 1.0);
+          double grid_scale = 1.0, ExecOptions exec = {});
 
   int size() const { return nranks_; }
+  ExecMode exec_mode() const { return exec_.mode; }
+  /// Worker lanes actually used by kThreaded dispatch (1 for kSequential).
+  int exec_threads() const;
   const Topology& topology() const { return topo_; }
   double scale_of(CostClass cls) const {
     switch (cls) {
@@ -160,16 +180,27 @@ class Runtime {
 
   // ---- supersteps -------------------------------------------------------
 
-  /// Runs `fn` once per rank (sequentially, deterministic order 0..N-1),
-  /// then routes all messages sent during the step. Message delivery costs
-  /// are charged under `phase`.
+  /// Runs `fn` once per rank, then routes all messages sent during the
+  /// step; message delivery costs are charged under `phase`. Under
+  /// kSequential, bodies run in rank order 0..N-1 on the calling thread;
+  /// under kThreaded they run concurrently on the pool. Bodies may only
+  /// write rank-indexed state (their store, their clock, their staging
+  /// buffer), which makes the two modes bit-identical: every rank's sends
+  /// land in a private per-rank buffer, and routing merges the buffers in
+  /// (src rank, send order) — exactly the sequential schedule's order.
   void superstep(const std::string& phase, const std::function<void(Comm&)>& fn);
 
   /// Overrides the transaction count used for the congestion term of the
   /// NEXT routing round (one-shot). The distributed exchange performs
   /// N(N-1) logical transactions even when most payloads are empty; the
   /// implementation only ships non-empty ones, so it hints the true count.
-  void hint_round_transactions(std::uint64_t n) { congestion_hint_ = n; }
+  /// Driver-owned: must be called between supersteps (never from a body),
+  /// so the hint is consumed exactly once, by the next routing round.
+  void hint_round_transactions(std::uint64_t n) {
+    DSMCPIC_CHECK_MSG(!in_superstep_,
+                      "hint_round_transactions inside a superstep body");
+    congestion_hint_ = n;
+  }
 
   // ---- synchronizing collectives (driver level) -------------------------
 
@@ -241,11 +272,14 @@ class Runtime {
   /// MachineProfile::nic_overhead).
   void apply_nic_serialization(int phase, std::uint64_t hint);
   double tree_stages() const;
+  std::size_t staged_count() const;
 
   int nranks_;
   Topology topo_;
   double particle_scale_;
   double grid_scale_;
+  ExecOptions exec_;
+  std::unique_ptr<support::ThreadPool> pool_;  // non-null iff kThreaded
 
   std::vector<double> clocks_;
 
@@ -258,7 +292,11 @@ class Runtime {
 
   std::vector<std::vector<Message>> pending_;  // delivery at next superstep
   std::vector<std::vector<Message>> inbox_;    // current superstep
-  std::vector<Message> staged_;                // sent during current superstep
+  // Per-SENDER staging for the current superstep: rank r's body appends
+  // only to staged_[r], so concurrent bodies never share a buffer. Routing
+  // walks staged_[0..N-1] in order, which reproduces the sequential
+  // schedule's global send order bit-for-bit.
+  std::vector<std::vector<Message>> staged_;
   bool in_superstep_ = false;
   int current_phase_for_comm_ = -1;
   std::uint64_t congestion_hint_ = 0;  // one-shot; 0 = use staged count

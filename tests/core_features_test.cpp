@@ -65,6 +65,57 @@ TEST(Checkpoint, RestartReproducesUninterruptedRun) {
   std::filesystem::remove(path);
 }
 
+// ExecMode is deliberately NOT part of the checkpoint fingerprint: a run
+// saved under threaded execution restores into a sequential solver (and
+// vice versa) and still reproduces the uninterrupted run exactly, because
+// threading is bit-invisible (DESIGN.md §2c).
+TEST(Checkpoint, ThreadedAndSequentialCheckpointsInterchange) {
+  const SolverConfig cfg = tiny_config();
+  ParallelConfig seq_par = tiny_parallel(4);
+  ParallelConfig thr_par = seq_par;
+  thr_par.exec_mode = par::ExecMode::kThreaded;
+  thr_par.exec_threads = 3;
+
+  // Reference: uninterrupted 10-step sequential run.
+  CoupledSolver reference(cfg, seq_par);
+  reference.run(10);
+
+  const std::string path = temp_path("dsmcpic_ckpt_exec_mode.bin");
+
+  // Threaded save -> sequential restore.
+  {
+    CoupledSolver threaded(cfg, thr_par);
+    threaded.run(6);
+    threaded.save_checkpoint(path);
+  }
+  {
+    CoupledSolver restored(cfg, seq_par);
+    restored.restore_checkpoint(path);
+    restored.run(4);
+    EXPECT_EQ(restored.particles_per_rank(), reference.particles_per_rank());
+    EXPECT_EQ(restored.runtime().total_time(),
+              reference.runtime().total_time());
+    EXPECT_EQ(restored.potential(), reference.potential());
+  }
+
+  // Sequential save -> threaded restore.
+  {
+    CoupledSolver plain(cfg, seq_par);
+    plain.run(6);
+    plain.save_checkpoint(path);
+  }
+  {
+    CoupledSolver restored(cfg, thr_par);
+    restored.restore_checkpoint(path);
+    restored.run(4);
+    EXPECT_EQ(restored.particles_per_rank(), reference.particles_per_rank());
+    EXPECT_EQ(restored.runtime().total_time(),
+              reference.runtime().total_time());
+    EXPECT_EQ(restored.potential(), reference.potential());
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Checkpoint, RejectsMismatchedConfiguration) {
   const SolverConfig cfg = tiny_config();
   const std::string path = temp_path("dsmcpic_ckpt_mismatch.bin");

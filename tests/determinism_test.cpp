@@ -1,0 +1,143 @@
+// Determinism harness for the threaded execution backend (DESIGN.md §2c):
+// kThreaded must be bit-identical to kSequential in every observable —
+// virtual clocks, per-phase PhaseStats, particle counts per rank, step
+// diagnostics, and the final potential. EXPECT_EQ on doubles throughout is
+// deliberate: the guarantee is bitwise, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+
+namespace dsmcpic::core {
+namespace {
+
+SolverConfig tiny_config() {
+  Dataset d = make_dataset(1, /*particle_scale=*/0.25);
+  d.config.nozzle.radial_divisions = 3;
+  d.config.nozzle.axial_divisions = 6;
+  return d.config;
+}
+
+struct RunResult {
+  std::vector<double> clocks;
+  std::vector<std::string> phase_names;
+  std::vector<par::PhaseStats> phase_stats;
+  std::vector<std::int64_t> particles_per_rank;
+  std::vector<double> potential;
+  std::vector<StepDiagnostics> history;
+  double total_time = 0.0;
+};
+
+RunResult run_solver(par::ExecMode mode, int nranks, int threads,
+                     exchange::Strategy strategy, bool balance_enabled,
+                     int steps) {
+  ParallelConfig par;
+  par.nranks = nranks;
+  par.strategy = strategy;
+  par.balance.enabled = balance_enabled;
+  par.balance.period = 4;
+  par.exec_mode = mode;
+  par.exec_threads = threads;
+  CoupledSolver solver(tiny_config(), par);
+  solver.run(steps);
+
+  RunResult r;
+  for (int i = 0; i < solver.runtime().size(); ++i)
+    r.clocks.push_back(solver.runtime().clock(i));
+  const RunSummary summary = solver.summary();
+  r.phase_names = summary.phase_names;
+  r.phase_stats = summary.phase_stats;
+  r.particles_per_rank = solver.particles_per_rank();
+  r.potential = solver.potential();
+  r.history = solver.history();
+  r.total_time = solver.runtime().total_time();
+  return r;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.clocks, b.clocks);
+  EXPECT_EQ(a.total_time, b.total_time);
+
+  ASSERT_EQ(a.phase_names, b.phase_names);
+  ASSERT_EQ(a.phase_stats.size(), b.phase_stats.size());
+  for (std::size_t i = 0; i < a.phase_stats.size(); ++i) {
+    const par::PhaseStats& sa = a.phase_stats[i];
+    const par::PhaseStats& sb = b.phase_stats[i];
+    EXPECT_EQ(sa.busy_max, sb.busy_max) << a.phase_names[i];
+    EXPECT_EQ(sa.busy_min, sb.busy_min) << a.phase_names[i];
+    EXPECT_EQ(sa.busy_sum, sb.busy_sum) << a.phase_names[i];
+    EXPECT_EQ(sa.transactions, sb.transactions) << a.phase_names[i];
+    EXPECT_EQ(sa.bytes, sb.bytes) << a.phase_names[i];
+  }
+
+  EXPECT_EQ(a.particles_per_rank, b.particles_per_rank);
+  EXPECT_EQ(a.potential, b.potential);
+
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const StepDiagnostics& da = a.history[i];
+    const StepDiagnostics& db = b.history[i];
+    EXPECT_EQ(da.dsmc_step, db.dsmc_step);
+    EXPECT_EQ(da.particles_per_rank, db.particles_per_rank);
+    EXPECT_EQ(da.total_h, db.total_h) << "step " << i;
+    EXPECT_EQ(da.total_hplus, db.total_hplus) << "step " << i;
+    EXPECT_EQ(da.injected, db.injected) << "step " << i;
+    EXPECT_EQ(da.migrated_dsmc, db.migrated_dsmc) << "step " << i;
+    EXPECT_EQ(da.migrated_pic, db.migrated_pic) << "step " << i;
+    EXPECT_EQ(da.collisions, db.collisions) << "step " << i;
+    EXPECT_EQ(da.ionizations, db.ionizations) << "step " << i;
+    EXPECT_EQ(da.recombinations, db.recombinations) << "step " << i;
+    EXPECT_EQ(da.poisson_iterations, db.poisson_iterations) << "step " << i;
+    EXPECT_EQ(da.lii, db.lii) << "step " << i;
+    EXPECT_EQ(da.rebalanced, db.rebalanced) << "step " << i;
+  }
+}
+
+// The acceptance criterion of the execution backend: 10 steps at 8 ranks,
+// 4 worker lanes, rebalancing on — threaded must match sequential exactly.
+TEST(Determinism, ThreadedMatchesSequentialBitwise) {
+  const RunResult seq =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  const RunResult thr =
+      run_solver(par::ExecMode::kThreaded, 8, 4,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  expect_identical(seq, thr);
+}
+
+// Two threaded runs with the same seed must also agree with each other
+// (schedule independence, not just seq/threaded agreement).
+TEST(Determinism, TwoThreadedRunsAgree) {
+  const RunResult a =
+      run_solver(par::ExecMode::kThreaded, 8, 4,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  const RunResult b =
+      run_solver(par::ExecMode::kThreaded, 8, 4,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  expect_identical(a, b);
+}
+
+// The guarantee holds for the centralized exchange too (root-driven
+// superstep bodies exercise a different communication shape), and is
+// independent of the lane count.
+TEST(Determinism, CentralizedExchangeAndOddLaneCount) {
+  const RunResult seq =
+      run_solver(par::ExecMode::kSequential, 6, 0,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6);
+  const RunResult thr3 =
+      run_solver(par::ExecMode::kThreaded, 6, 3,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6);
+  const RunResult thr2 =
+      run_solver(par::ExecMode::kThreaded, 6, 2,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6);
+  expect_identical(seq, thr3);
+  expect_identical(thr3, thr2);
+}
+
+}  // namespace
+}  // namespace dsmcpic::core

@@ -1,0 +1,105 @@
+// Golden regression digests: an FNV-1a 64-bit hash over every step
+// diagnostic and the final virtual clocks, compared against checked-in
+// values for a few representative configs. Any unintended change to the
+// physics, the cost model, the RNG streams, or the superstep routing
+// order shows up here as a digest mismatch — the failure message prints
+// the new digest so an INTENDED change can be re-goldened deliberately.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/datasets.hpp"
+#include "core/solver.hpp"
+
+namespace dsmcpic::core {
+namespace {
+
+class Fnv1a {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+SolverConfig tiny_config() {
+  Dataset d = make_dataset(1, /*particle_scale=*/0.25);
+  d.config.nozzle.radial_divisions = 3;
+  d.config.nozzle.axial_divisions = 6;
+  return d.config;
+}
+
+std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled) {
+  ParallelConfig par;
+  par.nranks = 6;
+  par.strategy = strategy;
+  par.balance.enabled = balance_enabled;
+  par.balance.period = 3;
+  CoupledSolver solver(tiny_config(), par);
+  solver.run(8);
+
+  Fnv1a d;
+  for (const StepDiagnostics& s : solver.history()) {
+    d.i64(s.dsmc_step);
+    for (const std::int64_t p : s.particles_per_rank) d.i64(p);
+    d.i64(s.total_h);
+    d.i64(s.total_hplus);
+    d.i64(s.injected);
+    d.i64(s.migrated_dsmc);
+    d.i64(s.migrated_pic);
+    d.i64(s.collisions);
+    d.i64(s.ionizations);
+    d.i64(s.recombinations);
+    d.i64(s.poisson_iterations);
+    d.f64(s.lii);
+    d.i64(s.rebalanced ? 1 : 0);
+  }
+  for (int r = 0; r < solver.runtime().size(); ++r)
+    d.f64(solver.runtime().clock(r));
+  d.f64(solver.runtime().total_time());
+  return d.value();
+}
+
+// Golden values harvested from the seed behavior of this repo. If a change
+// is SUPPOSED to alter results (new physics, cost-model retune), rerun the
+// test, verify the new numbers are intended, and update these constants in
+// the same commit that explains why.
+constexpr std::uint64_t kGoldenDcBalanced = 0xef94e5e11bc00cc4ULL;
+constexpr std::uint64_t kGoldenDcUnbalanced = 0xf2d8975ddd0bec20ULL;
+constexpr std::uint64_t kGoldenCcUnbalanced = 0x590b94314ef0aa30ULL;
+
+TEST(Golden, DistributedWithRebalance) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+TEST(Golden, DistributedNoRebalance) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/false);
+  EXPECT_EQ(got, kGoldenDcUnbalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+TEST(Golden, CentralizedNoRebalance) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kCentralized, /*balance=*/false);
+  EXPECT_EQ(got, kGoldenCcUnbalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+}  // namespace
+}  // namespace dsmcpic::core

@@ -275,6 +275,112 @@ TEST(Runtime, ChargeRankOutsideSuperstep) {
   EXPECT_GT(rt.phase_stats("p").busy_max, 0.0);
 }
 
+// The routing contract after per-rank staging: every inbox receives its
+// messages sorted by source rank, ties broken by the order the source sent
+// them ("src-major, send-order"). This is what the sequential 0..N-1
+// schedule always produced; the per-sender staging buffers preserve it
+// under threaded execution by merging buffers in rank order.
+TEST(Runtime, InboxOrderingIsSrcMajorSendOrder) {
+  for (const ExecMode mode : {ExecMode::kSequential, ExecMode::kThreaded}) {
+    Runtime rt(4, Topology(MachineProfile::tianhe2(), 4), 1.0, 1.0,
+               ExecOptions{mode, 3});
+    rt.superstep("send", [](Comm& c) {
+      // Every rank sends two tagged messages to rank 0, second one first to
+      // a different destination so buffers interleave destinations too.
+      c.send(0, /*tag=*/c.rank() * 10 + 0, {});
+      c.send(1, /*tag=*/c.rank() * 10 + 5, {});
+      c.send(0, /*tag=*/c.rank() * 10 + 1, {});
+    });
+    rt.superstep("recv", [&](Comm& c) {
+      if (c.rank() == 0) {
+        ASSERT_EQ(c.inbox().size(), 8u);
+        for (int src = 0; src < 4; ++src) {
+          EXPECT_EQ(c.inbox()[2 * src].src, src);
+          EXPECT_EQ(c.inbox()[2 * src].tag, src * 10 + 0);
+          EXPECT_EQ(c.inbox()[2 * src + 1].src, src);
+          EXPECT_EQ(c.inbox()[2 * src + 1].tag, src * 10 + 1);
+        }
+      }
+      if (c.rank() == 1) {
+        ASSERT_EQ(c.inbox().size(), 4u);
+        for (int src = 0; src < 4; ++src) {
+          EXPECT_EQ(c.inbox()[src].src, src);
+          EXPECT_EQ(c.inbox()[src].tag, src * 10 + 5);
+        }
+      }
+    });
+  }
+}
+
+// Threaded dispatch must be invisible in every accounted number: same
+// clocks (bitwise), same phase stats, same message costs.
+TEST(Runtime, ThreadedSuperstepsMatchSequentialBitwise) {
+  auto run = [](ExecMode mode) {
+    Runtime rt(8, Topology(MachineProfile::tianhe2(), 8), 3.0, 2.0,
+               ExecOptions{mode, 4});
+    for (int s = 0; s < 6; ++s) {
+      rt.superstep("work", [s](Comm& c) {
+        c.charge(WorkKind::kMove, 137.0 * (c.rank() + 1) + s);
+        const std::vector<double> x{1.0 + c.rank(), 2.0};
+        c.send_pod<double>((c.rank() + 1 + s) % c.size(), s, x);
+        if (c.rank() % 2 == 0)
+          c.send_pod<double>((c.rank() + 3) % c.size(), 100 + s, x,
+                             CostClass::kGrid);
+      });
+      rt.superstep("drain", [](Comm& c) {
+        double acc = 0.0;
+        for (const auto& m : c.inbox())
+          for (const double v : m.view<double>()) acc += v;
+        c.charge(WorkKind::kVecFlop, acc);
+      });
+    }
+    rt.barrier("end");
+    return rt;
+  };
+  const Runtime a = run(ExecMode::kSequential);
+  const Runtime b = run(ExecMode::kThreaded);
+  for (int r = 0; r < a.size(); ++r) EXPECT_EQ(a.clock(r), b.clock(r));
+  ASSERT_EQ(a.phases(), b.phases());
+  for (const auto& p : a.phases()) {
+    const PhaseStats sa = a.phase_stats(p);
+    const PhaseStats sb = b.phase_stats(p);
+    EXPECT_EQ(sa.busy_max, sb.busy_max) << p;
+    EXPECT_EQ(sa.busy_min, sb.busy_min) << p;
+    EXPECT_EQ(sa.busy_sum, sb.busy_sum) << p;
+    EXPECT_EQ(sa.transactions, sb.transactions) << p;
+    EXPECT_EQ(sa.bytes, sb.bytes) << p;
+    EXPECT_EQ(a.phase_busy(p), b.phase_busy(p)) << p;
+  }
+}
+
+TEST(Runtime, ThreadedExposesLaneCount) {
+  Runtime seq = make_runtime(4);
+  EXPECT_EQ(seq.exec_mode(), ExecMode::kSequential);
+  EXPECT_EQ(seq.exec_threads(), 1);
+  Runtime thr(4, Topology(MachineProfile::tianhe2(), 4), 1.0, 1.0,
+              ExecOptions{ExecMode::kThreaded, 3});
+  EXPECT_EQ(thr.exec_mode(), ExecMode::kThreaded);
+  EXPECT_EQ(thr.exec_threads(), 3);
+}
+
+TEST(Runtime, HintInsideSuperstepBodyThrows) {
+  Runtime rt = make_runtime(2);
+  EXPECT_THROW(
+      rt.superstep("bad", [&](Comm& c) {
+        if (c.rank() == 0) rt.hint_round_transactions(7);
+      }),
+      Error);
+}
+
+TEST(ExecMode, ParseAndName) {
+  EXPECT_EQ(parse_exec_mode("seq"), ExecMode::kSequential);
+  EXPECT_EQ(parse_exec_mode("sequential"), ExecMode::kSequential);
+  EXPECT_EQ(parse_exec_mode("threaded"), ExecMode::kThreaded);
+  EXPECT_THROW(parse_exec_mode("gpu"), Error);
+  EXPECT_STREQ(exec_mode_name(ExecMode::kThreaded), "threaded");
+  EXPECT_STREQ(exec_mode_name(ExecMode::kSequential), "seq");
+}
+
 TEST(MachineProfiles, ThreePlatformsDiffer) {
   const auto t2 = MachineProfile::tianhe2();
   const auto bs = MachineProfile::bscc();

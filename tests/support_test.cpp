@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/vec3.hpp"
 
 namespace dsmcpic {
@@ -140,6 +142,43 @@ TEST(Stats, MeanRelativeErrorSkipsNearZeroReference) {
   const std::vector<double> a{1.1, 2.2, 5.0};
   const std::vector<double> b{1.0, 2.0, 0.0};
   EXPECT_NEAR(mean_relative_error(a, b), 0.1, 1e-12);  // third pair skipped
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (const int n : {0, 1, 3, 17, 256}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  support::ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(10, [&](int i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 50 * 45);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8,
+                   [](int i) {
+                     if (i == 5) throw Error("boom");
+                   }),
+               Error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  support::ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
 }
 
 }  // namespace
