@@ -1,0 +1,269 @@
+// Wall-clock microbenchmark for the intra-rank kernels (move, collide,
+// deposit) at serial vs 2 vs 4 kernel lanes, plus the pre-cache seed
+// baseline (geometry caches disabled, serial) so the win from the
+// precomputed face planes / barycentric inverses is measured separately
+// from the win of chunking. Unlike the paper-reproduction benches this one
+// reports REAL milliseconds, not virtual seconds — the kernel lanes are
+// invisible to the cost model by design (docs/cost_model.md).
+//
+// Writes BENCH_kernels.json (see scripts/bench_kernels.sh). The headline
+// number is move.speedup_kt4_vs_serial: cached geometry + 4 lanes against
+// the seed-equivalent recompute-serial baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dsmc/collide.hpp"
+#include "dsmc/mover.hpp"
+#include "dsmc/particles.hpp"
+#include "dsmc/species.hpp"
+#include "mesh/nozzle.hpp"
+#include "mesh/refine.hpp"
+#include "pic/deposit.hpp"
+#include "pic/fine_grid.hpp"
+#include "support/cli.hpp"
+#include "support/kernel_exec.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+using namespace dsmcpic;
+
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times fn() `reps` times and returns the fastest run (least noisy on a
+/// shared machine); fn is run once untimed as warmup.
+template <class F>
+double best_of(int reps, F&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    fn();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
+
+/// Seeds a reproducible population: particles scattered uniformly over the
+/// cells at interior barycentric points, half H / half H+, thermal spread
+/// plus an axial drift large enough that a move step crosses several cells
+/// (so ray_exit_face dominates, as it does in the real solver).
+dsmc::ParticleStore make_population(const mesh::TetMesh& mesh,
+                                    const dsmc::SpeciesTable& table,
+                                    std::int64_t n) {
+  dsmc::ParticleStore store;
+  store.reserve(static_cast<std::size_t>(n));
+  Rng rng(0xbe9cULL);
+  const double vth = std::sqrt(dsmc::constants::kBoltzmann * 300.0 /
+                               table[dsmc::kSpeciesH].mass);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t cell =
+        static_cast<std::int32_t>(i % mesh.num_tets());
+    const auto& tet = mesh.tet(cell);
+    // Random interior point: normalized positive barycentric weights.
+    double w[4], sum = 0.0;
+    for (double& x : w) sum += (x = 0.05 + rng.uniform());
+    Vec3 pos{0, 0, 0};
+    for (int k = 0; k < 4; ++k) pos = pos + mesh.node(tet[k]) * (w[k] / sum);
+    dsmc::ParticleRecord p;
+    p.position = pos;
+    p.velocity = Vec3{rng.normal() * vth, rng.normal() * vth,
+                      rng.normal() * vth + 2.0 * vth};
+    p.id = i;
+    p.species = (i % 2 == 0) ? dsmc::kSpeciesH : dsmc::kSpeciesHPlus;
+    p.cell = cell;
+    store.add(p);
+  }
+  return store;
+}
+
+struct KernelTimes {
+  double serial_recompute = 0.0;  // seed baseline: no caches, no lanes
+  double serial = 0.0;            // caches on, no lanes
+  double kt2 = 0.0;
+  double kt4 = 0.0;
+};
+
+void emit(std::FILE* f, const char* name, const KernelTimes& t,
+          bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\n"
+               "      \"serial_recompute_ms\": %.3f,\n"
+               "      \"serial_cached_ms\": %.3f,\n"
+               "      \"kt2_ms\": %.3f,\n"
+               "      \"kt4_ms\": %.3f,\n"
+               "      \"speedup_kt4_vs_serial\": %.3f,\n"
+               "      \"speedup_cache_only\": %.3f\n"
+               "    }%s\n",
+               name, t.serial_recompute, t.serial, t.kt2, t.kt4,
+               t.serial_recompute / t.kt4, t.serial_recompute / t.serial,
+               trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "Intra-rank kernel microbenchmark: move / collide / deposit wall-clock "
+      "at {seed recompute-serial, cached serial, 2 lanes, 4 lanes}");
+  const auto* radial = cli.add_int("radial", 6, "nozzle radial divisions");
+  const auto* axial = cli.add_int("axial", 14, "nozzle axial divisions");
+  const auto* nparticles =
+      cli.add_int("particles", 200000, "population size");
+  const auto* reps = cli.add_int("reps", 5, "timed repetitions (best-of)");
+  const auto* out =
+      cli.add_string("out", "BENCH_kernels.json", "output JSON path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int nreps = static_cast<int>(*reps);
+  mesh::NozzleSpec spec;
+  spec.radial_divisions = static_cast<int>(*radial);
+  spec.axial_divisions = static_cast<int>(*axial);
+  mesh::TetMesh coarse = mesh::make_cylinder_nozzle(spec);
+  mesh::RefinedMesh refined = mesh::red_refine(coarse, nozzle_classifier(spec));
+  pic::FineGrid grid(coarse, refined);
+
+  const dsmc::SpeciesTable table = dsmc::SpeciesTable::hydrogen(2e11, 2e11);
+  const dsmc::ParticleStore base =
+      make_population(coarse, table, *nparticles);
+  std::printf("mesh: %d coarse tets, %d fine tets; %zu particles; reps=%d\n",
+              coarse.num_tets(), refined.mesh.num_tets(), base.size(), nreps);
+
+  // dt sized so the drift crosses a few coarse cells per step: the walk
+  // (ray_exit_face per crossing) dominates, as in the production move phase.
+  const double vth = std::sqrt(dsmc::constants::kBoltzmann * 300.0 /
+                               table[dsmc::kSpeciesH].mass);
+  const double dt_move = 1.5 * (spec.length / spec.axial_divisions) /
+                         (2.0 * vth);
+  const double dt_collide = 4e-6;
+
+  const dsmc::Mover mover(coarse, table, dsmc::MoverConfig{});
+  support::KernelExec exec2(2), exec4(4);
+  struct Lane {
+    const char* name;
+    const support::KernelExec* exec;
+    bool cache;
+  };
+  const Lane lanes[] = {{"serial_recompute", nullptr, false},
+                        {"serial", nullptr, true},
+                        {"kt2", &exec2, true},
+                        {"kt4", &exec4, true}};
+
+  KernelTimes move_t, collide_t, deposit_t;
+  const auto slot = [](KernelTimes& t, int i) -> double& {
+    switch (i) {
+      case 0: return t.serial_recompute;
+      case 1: return t.serial;
+      case 2: return t.kt2;
+    }
+    return t.kt4;
+  };
+
+  // --- move ---------------------------------------------------------------
+  for (int i = 0; i < 4; ++i) {
+    coarse.set_geometry_cache_enabled(lanes[i].cache);
+    dsmc::ParticleStore store = base;
+    std::vector<std::uint8_t> removed(store.size(), 0);
+    std::int64_t walk = 0;
+    slot(move_t, i) = best_of(nreps, [&] {
+      store = base;
+      std::fill(removed.begin(), removed.end(), 0);
+      const dsmc::MoveStats s = mover.move_all(
+          store, dt_move, /*step=*/0, removed, dsmc::MoveFilter::kAll,
+          lanes[i].exec);
+      walk = s.walk_steps;
+    });
+    std::printf("  move     %-16s %8.2f ms  (%lld face crossings)\n",
+                lanes[i].name, slot(move_t, i), static_cast<long long>(walk));
+  }
+
+  // --- collide ------------------------------------------------------------
+  std::vector<std::int32_t> all_cells(
+      static_cast<std::size_t>(coarse.num_tets()));
+  std::iota(all_cells.begin(), all_cells.end(), 0);
+  for (int i = 0; i < 4; ++i) {
+    coarse.set_geometry_cache_enabled(lanes[i].cache);
+    dsmc::CollideScratch scratch;
+    dsmc::CellIndex index;
+    std::int64_t collisions = 0;
+    double best = 1e300;
+    for (int r = 0; r < nreps + 1; ++r) {
+      // Fresh store + kernel per run (untimed): the adaptive majorants and
+      // the velocity updates must follow the identical trajectory in every
+      // lane config, or the configs would time different workloads.
+      dsmc::ParticleStore store = base;
+      dsmc::CollisionKernel kernel(coarse, table, dsmc::CollisionConfig{});
+      index.rebuild(store, coarse.num_tets());
+      const double t0 = now_ms();
+      const dsmc::CollisionStats s = kernel.collide_cells(
+          store, index, all_cells, dt_collide, /*step=*/0, lanes[i].exec,
+          &scratch);
+      if (r > 0) best = std::min(best, now_ms() - t0);  // r==0 is warmup
+      collisions = s.collisions;
+    }
+    slot(collide_t, i) = best;
+    std::printf("  collide  %-16s %8.2f ms  (%lld collisions)\n",
+                lanes[i].name, slot(collide_t, i),
+                static_cast<long long>(collisions));
+  }
+
+  // --- deposit ------------------------------------------------------------
+  std::vector<std::int32_t> sorted_nodes(
+      static_cast<std::size_t>(refined.mesh.num_nodes()));
+  std::iota(sorted_nodes.begin(), sorted_nodes.end(), 0);
+  std::vector<double> node_charge(sorted_nodes.size(), 0.0);
+  const std::vector<std::uint8_t> none(base.size(), 0);
+  for (int i = 0; i < 4; ++i) {
+    refined.mesh.set_geometry_cache_enabled(lanes[i].cache);
+    pic::DepositScratch scratch;
+    std::int64_t deposited = 0;
+    slot(deposit_t, i) = best_of(nreps, [&] {
+      std::fill(node_charge.begin(), node_charge.end(), 0.0);
+      const pic::DepositStats s =
+          pic::deposit_charge(base, grid, table, sorted_nodes, none,
+                              node_charge, lanes[i].exec, &scratch);
+      deposited = s.deposited;
+    });
+    std::printf("  deposit  %-16s %8.2f ms  (%lld deposited)\n",
+                lanes[i].name, slot(deposit_t, i),
+                static_cast<long long>(deposited));
+  }
+  coarse.set_geometry_cache_enabled(true);
+  refined.mesh.set_geometry_cache_enabled(true);
+
+  std::FILE* f = std::fopen(out->c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out->c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_kernels\",\n"
+               "  \"note\": \"wall-clock ms, best of %d reps; "
+               "serial_recompute is the pre-cache seed baseline, "
+               "speedups are vs that baseline\",\n"
+               "  \"mesh\": {\"coarse_tets\": %d, \"fine_tets\": %d},\n"
+               "  \"particles\": %zu,\n"
+               "  \"kernels\": {\n",
+               nreps, coarse.num_tets(), refined.mesh.num_tets(),
+               base.size());
+  emit(f, "move", move_t, true);
+  emit(f, "collide", collide_t, true);
+  emit(f, "deposit", deposit_t, false);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  std::printf("\nmove speedup kt4 vs serial baseline: %.2fx  -> %s\n",
+              move_t.serial_recompute / move_t.kt4, out->c_str());
+  return 0;
+}

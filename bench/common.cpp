@@ -30,6 +30,9 @@ CommonFlags::CommonFlags(Cli& cli, const std::string& default_ranks,
       "superstep execution backend: seq | threaded (bit-identical results)");
   threads_ = cli.add_int(
       "threads", 0, "worker lanes for --exec-mode threaded (0 = all cores)");
+  kernel_threads_ = cli.add_int(
+      "kernel-threads", 1,
+      "intra-rank kernel lanes (1 = serial; bit-identical results)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -41,6 +44,7 @@ BenchOptions CommonFlags::finish() const {
   o.seed = static_cast<std::uint64_t>(*seed_);
   o.exec_mode = par::parse_exec_mode(*exec_mode_);
   o.exec_threads = static_cast<int>(*threads_);
+  o.kernel_threads = static_cast<int>(*kernel_threads_);
   return o;
 }
 
@@ -78,6 +82,7 @@ core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
   par.grid_scale = ds.paper_grid_scale;
   par.exec_mode = opt.exec_mode;
   par.exec_threads = opt.exec_threads;
+  par.kernel_threads = opt.kernel_threads;
   return par;
 }
 

@@ -24,6 +24,8 @@ struct BenchOptions {
   // reported numbers are bit-identical across modes).
   par::ExecMode exec_mode = par::ExecMode::kSequential;
   int exec_threads = 0;  // <= 0: one lane per hardware thread
+  // Intra-rank kernel lanes (orthogonal to exec_mode; bit-identical too).
+  int kernel_threads = 1;
 
   par::MachineProfile profile() const;
 };
@@ -42,6 +44,7 @@ class CommonFlags {
   const std::int64_t* seed_;
   const std::string* exec_mode_;
   const std::int64_t* threads_;
+  const std::int64_t* kernel_threads_;
 };
 
 /// Parses "24,48,96" into {24, 48, 96}.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the intra-rank kernel microbenchmark (move / collide / deposit at
+# serial vs 2 vs 4 kernel lanes, plus the pre-cache recompute baseline) and
+# leaves BENCH_kernels.json at the repo root.
+#
+#   scripts/bench_kernels.sh [build-dir] [extra bench_kernels flags...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+shift || true
+
+cmake -B "$BUILD" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target bench_kernels -j
+
+"$BUILD"/bench/bench_kernels --out BENCH_kernels.json "$@"
+echo "wrote $(pwd)/BENCH_kernels.json"

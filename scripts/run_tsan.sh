@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the runtime + determinism tests under ThreadSanitizer and runs
 # them. The threaded superstep backend claims "bit-identical by
-# construction, no locks in rank bodies" — this is the check that the
-# construction is actually race-free, not just deterministic by luck.
+# construction, no locks in rank bodies", and the intra-rank kernel lanes
+# (DESIGN.md §2d) claim the same for chunked move/collide/react/deposit —
+# this is the check that both constructions are actually race-free, not
+# just deterministic by luck.
 #
 #   scripts/run_tsan.sh [build-dir]
 #
@@ -21,8 +23,11 @@ cmake --build "$BUILD" --target par_test support_test determinism_test -j
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
-"$BUILD"/tests/support_test --gtest_filter='ThreadPool.*'
+"$BUILD"/tests/support_test --gtest_filter='ThreadPool.*:KernelExec.*'
 "$BUILD"/tests/par_test
+# Intra-rank kernel chunking first (real threads inside move/collide/
+# react/deposit), then the full harness including both levels at once.
+"$BUILD"/tests/determinism_test --gtest_filter='KernelThreads.*'
 "$BUILD"/tests/determinism_test
 
 echo "TSan sweep clean."

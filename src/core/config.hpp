@@ -77,6 +77,12 @@ struct ParallelConfig {
   par::ExecMode exec_mode = par::ExecMode::kSequential;
   /// Worker lanes for kThreaded; <= 0 means one per hardware thread.
   int exec_threads = 0;
+  /// Intra-rank kernel lanes (the second level of the execution model,
+  /// DESIGN.md §2d): move/collide/react/deposit chunk their particle or
+  /// cell ranges across a dedicated pool. Orthogonal to exec_mode; results
+  /// and virtual clocks are bit-identical to serial for any value. <= 1
+  /// means serial kernels. Not part of the checkpoint fingerprint.
+  int kernel_threads = 1;
 };
 
 /// Phase labels (paper Fig. 1). Used as runtime phase keys everywhere so

@@ -57,6 +57,11 @@ void CoupledSolver::init() {
   stores_.resize(nranks);
   removed_.assign(nranks, {});
 
+  kexec_ = std::make_unique<support::KernelExec>(pcfg_.kernel_threads);
+  cell_index_.resize(nranks);
+  collide_scratch_.resize(nranks);
+  deposit_scratch_.resize(nranks);
+
   inject_h_ = std::make_unique<dsmc::MaxwellianInjector>(
       coarse_, mesh::BoundaryKind::kInlet,
       dsmc::InjectionSpec{dsmc::kSpeciesH, cfg_.density_h,
@@ -162,7 +167,7 @@ void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
     const int r = c.rank();
     const dsmc::MoveStats st = mover_->move_all(
         stores_[r], cfg_.dt_dsmc, step_, removed_[r],
-        dsmc::MoveFilter::kNeutralOnly);
+        dsmc::MoveFilter::kNeutralOnly, kexec_.get());
     c.charge(par::WorkKind::kMove, static_cast<double>(st.moved));
     c.charge(par::WorkKind::kWalkStep, static_cast<double>(st.walk_steps));
   });
@@ -194,13 +199,15 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
   std::vector<RankStats> per_rank(pcfg_.nranks);
   rt_->superstep(phases::kColliReact, [&](par::Comm& c) {
     const int r = c.rank();
-    const dsmc::CellIndex index(stores_[r], coarse_.num_tets());
+    dsmc::CellIndex& index = cell_index_[r];
+    index.rebuild(stores_[r], coarse_.num_tets());
     const dsmc::CollisionStats cs = collide_->collide_cells(
-        stores_[r], index, my_cells_[r], cfg_.dt_dsmc, step_);
+        stores_[r], index, my_cells_[r], cfg_.dt_dsmc, step_, kexec_.get(),
+        &collide_scratch_[r]);
     removed_[r].resize(stores_[r].size(), 0);  // chemistry appended ions
     const dsmc::ChemistryStats rs =
         chemistry_->recombine(stores_[r], index, my_cells_[r], coarse_,
-                              cfg_.dt_dsmc, step_, removed_[r]);
+                              cfg_.dt_dsmc, step_, removed_[r], kexec_.get());
     c.charge(par::WorkKind::kCollide, static_cast<double>(cs.candidates));
     c.charge(par::WorkKind::kReact,
              static_cast<double>(cs.ionizations + rs.recombinations));
@@ -224,26 +231,41 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
     auto cells = store.cells();
     auto spec = store.species();
     auto ids = store.ids();
+    // Particles are independent (gather/push/move touch only slot i), so
+    // the range chunks across the kernel pool; per-chunk counters are
+    // summed in chunk order.
+    std::array<dsmc::MoveStats, 64> chunk_st{};
+    std::array<std::int64_t, 64> chunk_pushed{};
+    const std::int64_t n = static_cast<std::int64_t>(store.size());
+    kexec_->for_chunks(n, [&](int ch, std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        if (removed_[r][i]) continue;
+        const dsmc::Species& sp = species_[spec[i]];
+        if (!sp.charged()) continue;
+        // Gather E from the previous timestep's field (paper Sec. III-B).
+        const std::int32_t fc = fine_->locate(cells[i], pos[i]);
+        if (fc < 0) {
+          removed_[r][i] = 1;
+          continue;
+        }
+        const Vec3 e = pic::efield_in_cell(*fine_, fc, nodex_->rank_nodes(r),
+                                           phi_local_[r]);
+        vel[i] = pic::boris_push(vel[i], e, cfg_.magnetic_field,
+                                 sp.charge / sp.mass, dt);
+        ++chunk_pushed[ch];
+        if (!mover_->move_one(pos[i], vel[i], cells[i], spec[i], ids[i], dt,
+                              pic_step, chunk_st[ch]))
+          removed_[r][i] = 1;
+      }
+    });
     dsmc::MoveStats st;
     std::int64_t pushed = 0;
-    for (std::size_t i = 0; i < store.size(); ++i) {
-      if (removed_[r][i]) continue;
-      const dsmc::Species& sp = species_[spec[i]];
-      if (!sp.charged()) continue;
-      // Gather E from the previous timestep's field (paper Sec. III-B).
-      const std::int32_t fc = fine_->locate(cells[i], pos[i]);
-      if (fc < 0) {
-        removed_[r][i] = 1;
-        continue;
-      }
-      const Vec3 e = pic::efield_in_cell(*fine_, fc, nodex_->rank_nodes(r),
-                                         phi_local_[r]);
-      vel[i] = pic::boris_push(vel[i], e, cfg_.magnetic_field,
-                               sp.charge / sp.mass, dt);
-      ++pushed;
-      if (!mover_->move_one(pos[i], vel[i], cells[i], spec[i], ids[i], dt,
-                            pic_step, st))
-        removed_[r][i] = 1;
+    for (int ch = 0; ch < kexec_->num_chunks(n); ++ch) {
+      st.moved += chunk_st[ch].moved;
+      st.walk_steps += chunk_st[ch].walk_steps;
+      st.wall_hits += chunk_st[ch].wall_hits;
+      st.exited += chunk_st[ch].exited;
+      pushed += chunk_pushed[ch];
     }
     c.charge(par::WorkKind::kFieldGather, static_cast<double>(pushed));
     c.charge(par::WorkKind::kBorisPush, static_cast<double>(pushed));
@@ -263,9 +285,9 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
 
   rt_->superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
-    const pic::DepositStats st =
-        pic::deposit_charge(stores_[r], *fine_, species_,
-                            nodex_->rank_nodes(r), removed_[r], node_charge[r]);
+    const pic::DepositStats st = pic::deposit_charge(
+        stores_[r], *fine_, species_, nodex_->rank_nodes(r), removed_[r],
+        node_charge[r], kexec_.get(), &deposit_scratch_[r]);
     c.charge(par::WorkKind::kDeposit, static_cast<double>(st.deposited));
   });
   nodex_->reduce_to_owners(*rt_, phase, node_charge);

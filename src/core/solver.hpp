@@ -27,9 +27,11 @@
 #include "linalg/dist.hpp"
 #include "mesh/refine.hpp"
 #include "par/runtime.hpp"
+#include "pic/deposit.hpp"
 #include "pic/fine_grid.hpp"
 #include "pic/node_exchange.hpp"
 #include "pic/poisson.hpp"
+#include "support/kernel_exec.hpp"
 
 namespace dsmcpic::core {
 
@@ -132,6 +134,14 @@ class CoupledSolver {
 
   std::vector<dsmc::ParticleStore> stores_;          // per rank
   std::vector<std::vector<std::uint8_t>> removed_;   // per rank flags
+
+  // Intra-rank kernel executor (pcfg_.kernel_threads lanes; shared by all
+  // rank bodies — batches serialize on its pool) and per-rank reusable
+  // scratch so chunking allocates nothing in steady state.
+  std::unique_ptr<support::KernelExec> kexec_;
+  std::vector<dsmc::CellIndex> cell_index_;          // per rank, rebuilt
+  std::vector<dsmc::CollideScratch> collide_scratch_;
+  std::vector<pic::DepositScratch> deposit_scratch_;
 
   std::unique_ptr<dsmc::MaxwellianInjector> inject_h_;
   std::unique_ptr<dsmc::MaxwellianInjector> inject_hplus_;

@@ -1,12 +1,14 @@
 #include "dsmc/chemistry.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace dsmcpic::dsmc {
 
-bool Chemistry::try_ionization(Rng& rng, ParticleStore& store, std::size_t i,
-                               std::size_t j, double e_rel,
-                               ChemistryStats& stats) {
+bool Chemistry::try_ionization(Rng& rng, const ParticleStore& store,
+                               std::size_t i, std::size_t j, double e_rel,
+                               ChemistryStats& stats,
+                               std::vector<ParticleRecord>& spawned) {
   if (!cfg_.enabled) return false;
   const auto species = store.species();
   if (species[i] != kSpeciesH || species[j] != kSpeciesH) return false;
@@ -16,6 +18,8 @@ bool Chemistry::try_ionization(Rng& rng, ParticleStore& store, std::size_t i,
   // Spawn one H+ super-particle at collider i's location. Its velocity is
   // collider i's velocity with an isotropic thermal-scale perturbation (the
   // freed electron carries away the threshold energy; we do not track it).
+  // The record is buffered rather than appended, so cell chunks running
+  // concurrently never grow the store mid-sweep.
   ParticleRecord ion;
   ion.position = store.positions()[i];
   ion.velocity = store.velocities()[i];
@@ -23,7 +27,7 @@ bool Chemistry::try_ionization(Rng& rng, ParticleStore& store, std::size_t i,
   ion.cell = store.cells()[i];
   // Random id: ids only need uniqueness until the next Reindex renumbering.
   ion.id = static_cast<std::int64_t>(rng.next_u64() >> 1);
-  store.add(ion);
+  spawned.push_back(ion);
   ++stats.ionizations;
   return true;
 }
@@ -52,7 +56,8 @@ bool Chemistry::try_charge_exchange(Rng& rng, ParticleStore& store,
 ChemistryStats Chemistry::recombine(ParticleStore& store, const CellIndex& index,
                                     std::span<const std::int32_t> my_cells,
                                     const mesh::TetMesh& grid, double dt,
-                                    int step, std::span<std::uint8_t> removed) {
+                                    int step, std::span<std::uint8_t> removed,
+                                    const support::KernelExec* exec) {
   ChemistryStats stats;
   if (!cfg_.enabled) return stats;
   const Species& ion = (*table_)[kSpeciesHPlus];
@@ -60,30 +65,48 @@ ChemistryStats Chemistry::recombine(ParticleStore& store, const CellIndex& index
   const double weight_ratio = ion.fnum / neutral.fnum;  // << 1 typically
 
   auto species = store.species();
-  for (std::int32_t cell : my_cells) {
-    const auto parts = index.particles_in(cell);
-    // Electron density from quasi-neutrality: n_e = n_ion.
-    std::int64_t n_ion_sim = 0;
-    for (std::int32_t p : parts)
-      if (species[p] == kSpeciesHPlus && !removed[p]) ++n_ion_sim;
-    if (n_ion_sim == 0) continue;
-    const double n_e =
-        static_cast<double>(n_ion_sim) * ion.fnum / grid.volume(cell);
-    const double p_rec = 1.0 - std::exp(-cfg_.recombination_rate * n_e * dt);
-    if (p_rec <= 0.0) continue;
+  const auto recombine_range = [&](std::int64_t begin, std::int64_t end,
+                                   ChemistryStats& out) {
+    for (std::int64_t ci = begin; ci < end; ++ci) {
+      const std::int32_t cell = my_cells[ci];
+      const auto parts = index.particles_in(cell);
+      // Electron density from quasi-neutrality: n_e = n_ion.
+      std::int64_t n_ion_sim = 0;
+      for (std::int32_t p : parts)
+        if (species[p] == kSpeciesHPlus && !removed[p]) ++n_ion_sim;
+      if (n_ion_sim == 0) continue;
+      const double n_e =
+          static_cast<double>(n_ion_sim) * ion.fnum / grid.volume(cell);
+      const double p_rec = 1.0 - std::exp(-cfg_.recombination_rate * n_e * dt);
+      if (p_rec <= 0.0) continue;
 
-    Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
-            static_cast<std::uint64_t>(step));
-    for (std::int32_t p : parts) {
-      if (species[p] != kSpeciesHPlus || removed[p]) continue;
-      if (rng.uniform() >= p_rec) continue;
-      ++stats.recombinations;
-      if (rng.uniform() < weight_ratio) {
-        species[p] = kSpeciesH;  // weight lottery won: becomes a neutral
-      } else {
-        removed[p] = 1;  // absorbed into the (much heavier) H population
+      Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
+              static_cast<std::uint64_t>(step));
+      for (std::int32_t p : parts) {
+        if (species[p] != kSpeciesHPlus || removed[p]) continue;
+        if (rng.uniform() >= p_rec) continue;
+        ++out.recombinations;
+        if (rng.uniform() < weight_ratio) {
+          species[p] = kSpeciesH;  // weight lottery won: becomes a neutral
+        } else {
+          removed[p] = 1;  // absorbed into the (much heavier) H population
+        }
       }
     }
+  };
+  const std::int64_t n = static_cast<std::int64_t>(my_cells.size());
+  if (!exec || exec->serial()) {
+    recombine_range(0, n, stats);
+    return stats;
+  }
+  std::array<ChemistryStats, 64> chunk_stats{};
+  exec->for_chunks(n, [&](int c, std::int64_t begin, std::int64_t end) {
+    recombine_range(begin, end, chunk_stats[c]);
+  });
+  for (int c = 0; c < exec->num_chunks(n); ++c) {
+    stats.ionizations += chunk_stats[c].ionizations;
+    stats.recombinations += chunk_stats[c].recombinations;
+    stats.charge_exchanges += chunk_stats[c].charge_exchanges;
   }
   return stats;
 }

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
 #include "mesh/tetmesh.hpp"
+#include "support/kernel_exec.hpp"
 #include "support/rng.hpp"
 
 namespace dsmcpic::dsmc {
@@ -58,11 +60,14 @@ class Chemistry {
   const ChemistryConfig& config() const { return cfg_; }
 
   /// Called from the NTC accept path for an H–H pair with relative collision
-  /// energy `e_rel`. May append a new H+ particle to `store` (same cell,
-  /// velocity of collider i plus isotropic scatter). Returns true when an
-  /// ionization occurred (the elastic scatter still proceeds for the pair).
-  bool try_ionization(Rng& rng, ParticleStore& store, std::size_t i,
-                      std::size_t j, double e_rel, ChemistryStats& stats);
+  /// energy `e_rel`. May record a new H+ particle in `spawned` (same cell,
+  /// velocity of collider i); the caller appends the buffer to the store
+  /// after the cell sweep, so concurrent cell chunks never mutate the store
+  /// layout. Returns true when an ionization occurred (the elastic scatter
+  /// still proceeds for the pair).
+  bool try_ionization(Rng& rng, const ParticleStore& store, std::size_t i,
+                      std::size_t j, double e_rel, ChemistryStats& stats,
+                      std::vector<ParticleRecord>& spawned);
 
   /// Called from the NTC accept path for an H+/H pair: with probability
   /// cex_probability the electron hops, swapping the particles' species
@@ -74,11 +79,14 @@ class Chemistry {
   /// Cell-based recombination sweep over the caller's cells: every H+ in a
   /// cell recombines with probability 1 - exp(-k * n_e * dt). Flags removed
   /// ions in `removed`; converts survivors-of-the-weight-lottery to H in
-  /// place. Returns stats.
+  /// place. Returns stats. With `exec`, the cell list is chunked (cells are
+  /// disjoint, RNG keyed (seed, cell, step), int stats summed in chunk
+  /// order), so any chunk count gives the serial result.
   ChemistryStats recombine(ParticleStore& store, const CellIndex& index,
                            std::span<const std::int32_t> my_cells,
                            const mesh::TetMesh& grid, double dt, int step,
-                           std::span<std::uint8_t> removed);
+                           std::span<std::uint8_t> removed,
+                           const support::KernelExec* exec = nullptr);
 
  private:
   const SpeciesTable* table_;

@@ -2,6 +2,7 @@
 
 #include "support/serialize.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace dsmcpic::dsmc {
@@ -27,90 +28,155 @@ CollisionKernel::CollisionKernel(const mesh::TetMesh& grid,
       table_(&table),
       cfg_(cfg),
       chemistry_(chemistry),
+      num_species_(static_cast<std::size_t>(table.size())),
       sigma_cr_max_(static_cast<std::size_t>(grid.num_tets()),
                     cfg.initial_sigma_cr_max),
-      candidate_carry_(static_cast<std::size_t>(grid.num_tets()), 0.0) {}
+      candidate_carry_(static_cast<std::size_t>(grid.num_tets()), 0.0) {
+  // Precompute the pair-averaged VHS constants. The expressions mirror
+  // vhs_cross_section exactly (same grouping, divide by gamma rather than
+  // multiply by its inverse) so the cached path is bit-identical.
+  vhs_pairs_.resize(num_species_ * num_species_);
+  for (std::int32_t a = 0; a < table.size(); ++a) {
+    for (std::int32_t b = 0; b < table.size(); ++b) {
+      const Species& sa = table[a];
+      const Species& sb = table[b];
+      const double d = 0.5 * (sa.diameter + sb.diameter);
+      const double omega = 0.5 * (sa.omega + sb.omega);
+      const double t_ref = 0.5 * (sa.t_ref + sb.t_ref);
+      VhsPair& p = vhs_pairs_[static_cast<std::size_t>(a) * num_species_ +
+                              static_cast<std::size_t>(b)];
+      p.pi_d2 = M_PI * d * d;
+      p.omega_mhalf = omega - 0.5;
+      p.two_kb_tref = 2.0 * constants::kBoltzmann * t_ref;
+      p.m_r = sa.mass * sb.mass / (sa.mass + sb.mass);
+      p.gamma = std::tgamma(2.5 - omega);
+    }
+  }
+}
 
 CollisionStats CollisionKernel::collide_cells(
     ParticleStore& store, const CellIndex& index,
-    std::span<const std::int32_t> my_cells, double dt, int step) {
+    std::span<const std::int32_t> my_cells, double dt, int step,
+    const support::KernelExec* exec, CollideScratch* scratch) {
+  const std::int64_t ncells = static_cast<std::int64_t>(my_cells.size());
+  const int nc = (exec && !exec->serial()) ? exec->num_chunks(ncells) : 1;
+  CollideScratch local;
+  CollideScratch& scr = scratch ? *scratch : local;
+  if (scr.spawned.size() < static_cast<std::size_t>(nc))
+    scr.spawned.resize(static_cast<std::size_t>(nc));
+  for (auto& buf : scr.spawned) buf.clear();
+
+  const auto collide_range = [&](std::int64_t begin, std::int64_t end,
+                                 CollisionStats& stats,
+                                 ChemistryStats& chem_stats,
+                                 std::vector<ParticleRecord>& spawned) {
+    for (std::int64_t ci = begin; ci < end; ++ci) {
+      const std::int32_t cell = my_cells[ci];
+      const auto parts = index.particles_in(cell);
+      const auto np = static_cast<std::int64_t>(parts.size());
+      if (np < 2) continue;
+
+      // Mean scaling factor of the particles in the cell (mixed-species NTC
+      // simplification; see DESIGN.md).
+      double fnum_sum = 0.0;
+      for (std::int32_t p : parts)
+        fnum_sum += (*table_)[store.species()[p]].fnum;
+      const double fnum_mean = fnum_sum / static_cast<double>(np);
+
+      const double volume = grid_->volume(cell);
+      double& majorant = sigma_cr_max_[cell];
+
+      const double expected =
+          0.5 * static_cast<double>(np) * static_cast<double>(np - 1) *
+              fnum_mean * majorant * dt / volume +
+          candidate_carry_[cell];
+      const auto n_cand = static_cast<std::int64_t>(expected);
+      candidate_carry_[cell] = expected - static_cast<double>(n_cand);
+      if (n_cand <= 0) continue;
+
+      // Per-(cell, step) stream: collision sequence is independent of which
+      // rank owns the cell.
+      Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
+              static_cast<std::uint64_t>(step));
+
+      for (std::int64_t k = 0; k < n_cand; ++k) {
+        ++stats.candidates;
+        const auto pi =
+            parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
+        auto pj = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
+        if (pi == pj) continue;
+
+        const auto si = store.species()[pi];
+        const auto sj = store.species()[pj];
+        const Vec3 vi = store.velocities()[pi];
+        const Vec3 vj = store.velocities()[pj];
+        const Vec3 rel = vi - vj;
+        const double c_r = rel.norm();
+        if (c_r <= 0.0) continue;
+
+        const double sigma_cr = vhs_sigma(si, sj, c_r) * c_r;
+        if (sigma_cr > majorant) majorant = sigma_cr;  // adapt the majorant
+        if (rng.uniform() * majorant > sigma_cr) continue;  // rejected
+
+        ++stats.collisions;
+        const double ma = (*table_)[si].mass;
+        const double mb = (*table_)[sj].mass;
+        const double m_r = ma * mb / (ma + mb);
+        const double e_rel = 0.5 * m_r * c_r * c_r;
+
+        if (chemistry_ && chemistry_->try_ionization(rng, store, pi, pj, e_rel,
+                                                     chem_stats, spawned)) {
+          ++stats.ionizations;
+          // Elastic scatter still applies to the colliding pair below.
+        }
+        if (chemistry_ && si != sj &&
+            chemistry_->try_charge_exchange(rng, store, pi, pj, chem_stats)) {
+          ++stats.charge_exchanges;
+          continue;  // CEX replaces the elastic scatter for this pair
+        }
+
+        // Isotropic VHS scatter in the centre-of-mass frame.
+        const Vec3 v_cm = (vi * ma + vj * mb) / (ma + mb);
+        const double cos_t = 2.0 * rng.uniform() - 1.0;
+        const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+        const double phi = 2.0 * M_PI * rng.uniform();
+        const Vec3 dir{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
+        store.velocities()[pi] = v_cm + dir * (c_r * mb / (ma + mb));
+        store.velocities()[pj] = v_cm - dir * (c_r * ma / (ma + mb));
+      }
+    }
+  };
+
   CollisionStats stats;
   ChemistryStats chem_stats;
-
-  for (std::int32_t cell : my_cells) {
-    const auto parts = index.particles_in(cell);
-    const auto np = static_cast<std::int64_t>(parts.size());
-    if (np < 2) continue;
-
-    // Mean scaling factor of the particles in the cell (mixed-species NTC
-    // simplification; see DESIGN.md).
-    double fnum_sum = 0.0;
-    for (std::int32_t p : parts)
-      fnum_sum += (*table_)[store.species()[p]].fnum;
-    const double fnum_mean = fnum_sum / static_cast<double>(np);
-
-    const double volume = grid_->volume(cell);
-    double& majorant = sigma_cr_max_[cell];
-
-    const double expected =
-        0.5 * static_cast<double>(np) * static_cast<double>(np - 1) *
-            fnum_mean * majorant * dt / volume +
-        candidate_carry_[cell];
-    const auto n_cand = static_cast<std::int64_t>(expected);
-    candidate_carry_[cell] = expected - static_cast<double>(n_cand);
-    if (n_cand <= 0) continue;
-
-    // Per-(cell, step) stream: collision sequence is independent of which
-    // rank owns the cell.
-    Rng rng(derive_stream_seed(cfg_.seed, static_cast<std::uint64_t>(cell)),
-            static_cast<std::uint64_t>(step));
-
-    for (std::int64_t k = 0; k < n_cand; ++k) {
-      ++stats.candidates;
-      const auto pi = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
-      auto pj = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
-      if (pi == pj) continue;
-
-      const auto si = store.species()[pi];
-      const auto sj = store.species()[pj];
-      const Vec3 vi = store.velocities()[pi];
-      const Vec3 vj = store.velocities()[pj];
-      const Vec3 rel = vi - vj;
-      const double c_r = rel.norm();
-      if (c_r <= 0.0) continue;
-
-      const double sigma_cr =
-          vhs_cross_section((*table_)[si], (*table_)[sj], c_r) * c_r;
-      if (sigma_cr > majorant) majorant = sigma_cr;  // adapt the majorant
-      if (rng.uniform() * majorant > sigma_cr) continue;  // rejected
-
-      ++stats.collisions;
-      const double ma = (*table_)[si].mass;
-      const double mb = (*table_)[sj].mass;
-      const double m_r = ma * mb / (ma + mb);
-      const double e_rel = 0.5 * m_r * c_r * c_r;
-
-      if (chemistry_ &&
-          chemistry_->try_ionization(rng, store, pi, pj, e_rel, chem_stats)) {
-        ++stats.ionizations;
-        // Elastic scatter still applies to the colliding pair below.
-      }
-      if (chemistry_ && si != sj &&
-          chemistry_->try_charge_exchange(rng, store, pi, pj, chem_stats)) {
-        ++stats.charge_exchanges;
-        continue;  // CEX replaces the elastic scatter for this pair
-      }
-
-      // Isotropic VHS scatter in the centre-of-mass frame.
-      const Vec3 v_cm = (vi * ma + vj * mb) / (ma + mb);
-      const double cos_t = 2.0 * rng.uniform() - 1.0;
-      const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
-      const double phi = 2.0 * M_PI * rng.uniform();
-      const Vec3 dir{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
-      store.velocities()[pi] = v_cm + dir * (c_r * mb / (ma + mb));
-      store.velocities()[pj] = v_cm - dir * (c_r * ma / (ma + mb));
+  if (nc == 1) {
+    collide_range(0, ncells, stats, chem_stats, scr.spawned[0]);
+  } else {
+    // Cells are disjoint between chunks (majorant, carry, RNG stream and
+    // partner velocities are all per-cell); per-chunk stats and spawn
+    // buffers are merged in chunk order below, which equals cell order —
+    // exactly the serial sequence.
+    std::array<CollisionStats, 64> cstats{};
+    std::array<ChemistryStats, 64> cchem{};
+    exec->for_chunks(ncells, [&](int c, std::int64_t begin, std::int64_t end) {
+      collide_range(begin, end, cstats[c], cchem[c], scr.spawned[c]);
+    });
+    for (int c = 0; c < nc; ++c) {
+      stats.candidates += cstats[c].candidates;
+      stats.collisions += cstats[c].collisions;
+      stats.ionizations += cstats[c].ionizations;
+      stats.charge_exchanges += cstats[c].charge_exchanges;
+      chem_stats.ionizations += cchem[c].ionizations;
+      chem_stats.recombinations += cchem[c].recombinations;
+      chem_stats.charge_exchanges += cchem[c].charge_exchanges;
     }
   }
+  // Append spawned ions after the sweep, in chunk (= cell) order: the store
+  // ends up identical to the serial interleaved-append version because the
+  // records were captured at event time and serial appends also happen in
+  // cell order.
+  for (int c = 0; c < nc; ++c)
+    for (const ParticleRecord& ion : scr.spawned[c]) store.add(ion);
   stats.ionizations = chem_stats.ionizations;
   return stats;
 }

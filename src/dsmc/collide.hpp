@@ -4,6 +4,8 @@
 // Colli_React; Bird 1994). Reactions are delegated to the Chemistry hook on
 // the accept path.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -13,6 +15,7 @@
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
 #include "mesh/tetmesh.hpp"
+#include "support/kernel_exec.hpp"
 #include "support/rng.hpp"
 
 namespace dsmcpic::dsmc {
@@ -33,6 +36,14 @@ struct CollisionStats {
 /// VHS total cross section for a colliding pair with relative speed c_r.
 double vhs_cross_section(const Species& a, const Species& b, double c_r);
 
+/// Reusable per-rank scratch for collide_cells: one spawned-ion buffer per
+/// chunk, merged into the store in chunk (= cell) order after the sweep.
+/// Capacities persist across steps so chunking allocates nothing in steady
+/// state.
+struct CollideScratch {
+  std::vector<std::vector<ParticleRecord>> spawned;
+};
+
 class CollisionKernel {
  public:
   CollisionKernel(const mesh::TetMesh& grid, const SpeciesTable& table,
@@ -41,9 +52,26 @@ class CollisionKernel {
   /// Performs NTC collisions (and reactions) in each cell of `my_cells`.
   /// `index` must be freshly built for `store`. New particles appended by
   /// chemistry are NOT collision partners this step (standard practice).
+  /// With `exec`, the cell list is chunked across its kernel pool; every
+  /// per-cell quantity (majorant, carry, RNG stream) is keyed by cell, so
+  /// the result is identical to serial for any chunk count. `scratch`
+  /// (optional) carries the spawn buffers across steps.
   CollisionStats collide_cells(ParticleStore& store, const CellIndex& index,
                                std::span<const std::int32_t> my_cells,
-                               double dt, int step);
+                               double dt, int step,
+                               const support::KernelExec* exec = nullptr,
+                               CollideScratch* scratch = nullptr);
+
+  /// Cached-constant VHS sigma for species pair (si, sj): bit-identical to
+  /// vhs_cross_section but with the pair-averaged reference values, reduced
+  /// mass and Gamma(5/2 - omega) precomputed per pair at construction.
+  double vhs_sigma(std::int32_t si, std::int32_t sj, double c_r) const {
+    const VhsPair& p = vhs_pairs_[static_cast<std::size_t>(si) * num_species_ +
+                                  static_cast<std::size_t>(sj)];
+    const double c2 = std::max(c_r * c_r, 1e-30);
+    const double ratio = p.two_kb_tref / (p.m_r * c2);
+    return p.pi_d2 * std::pow(ratio, p.omega_mhalf) / p.gamma;
+  }
 
   /// Per-cell adaptive majorants (exposed so rebalancing can migrate them
   /// conceptually; they are global per-cell state, not per-rank).
@@ -54,10 +82,22 @@ class CollisionKernel {
   void load(std::istream& is);
 
  private:
+  /// Per-species-pair VHS constants, precomputed so the hot loop avoids
+  /// std::tgamma and the pair-parameter averaging per candidate.
+  struct VhsPair {
+    double pi_d2;        // M_PI * d * d (pair-averaged d)
+    double omega_mhalf;  // omega - 0.5
+    double two_kb_tref;  // 2 kB * t_ref
+    double m_r;          // reduced mass
+    double gamma;        // tgamma(2.5 - omega)
+  };
+
   const mesh::TetMesh* grid_;
   const SpeciesTable* table_;
   CollisionConfig cfg_;
   Chemistry* chemistry_;
+  std::size_t num_species_ = 0;
+  std::vector<VhsPair> vhs_pairs_;  // num_species^2, row-major
   std::vector<double> sigma_cr_max_;  // per cell, persists across steps
   std::vector<double> candidate_carry_;  // fractional NTC candidates per cell
 };

@@ -13,6 +13,7 @@
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
 #include "mesh/tetmesh.hpp"
+#include "support/kernel_exec.hpp"
 
 namespace dsmcpic::dsmc {
 
@@ -39,9 +40,14 @@ class Mover {
 
   /// Advances every particle passing `filter` by dt. Sets removed[i] = 1 for
   /// particles that left the domain. `removed` must be store.size() long.
+  /// With a non-null `exec`, the particle range is chunked across its kernel
+  /// pool; particles are independent (per-particle RNG streams keyed
+  /// (seed, id, step)) and the integer per-chunk stats are summed in chunk
+  /// order, so the result is identical for any chunk count.
   MoveStats move_all(ParticleStore& store, double dt, int step,
                      std::span<std::uint8_t> removed,
-                     MoveFilter filter = MoveFilter::kAll) const;
+                     MoveFilter filter = MoveFilter::kAll,
+                     const support::KernelExec* exec = nullptr) const;
 
   /// Advances a single particle; returns false if it left the domain.
   bool move_one(Vec3& pos, Vec3& vel, std::int32_t& cell, std::int32_t species,

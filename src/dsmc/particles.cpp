@@ -111,6 +111,10 @@ void ParticleStore::load(std::istream& is) {
 }
 
 CellIndex::CellIndex(const ParticleStore& store, std::int32_t num_cells) {
+  rebuild(store, num_cells);
+}
+
+void CellIndex::rebuild(const ParticleStore& store, std::int32_t num_cells) {
   start_.assign(static_cast<std::size_t>(num_cells) + 1, 0);
   const auto cells = store.cells();
   for (std::int32_t c : cells) {
@@ -119,9 +123,9 @@ CellIndex::CellIndex(const ParticleStore& store, std::int32_t num_cells) {
   }
   for (std::int32_t c = 0; c < num_cells; ++c) start_[c + 1] += start_[c];
   items_.resize(store.size());
-  std::vector<std::int64_t> cursor(start_.begin(), start_.end() - 1);
+  cursor_.assign(start_.begin(), start_.end() - 1);
   for (std::size_t i = 0; i < store.size(); ++i)
-    items_[static_cast<std::size_t>(cursor[cells[i]]++)] =
+    items_[static_cast<std::size_t>(cursor_[cells[i]]++)] =
         static_cast<std::int32_t>(i);
 }
 

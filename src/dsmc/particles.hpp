@@ -75,7 +75,12 @@ class ParticleStore {
 /// deposition, exchange classification).
 class CellIndex {
  public:
+  CellIndex() = default;
   CellIndex(const ParticleStore& store, std::int32_t num_cells);
+
+  /// Rebuilds the index in place. Reuses the start/items/cursor storage
+  /// from previous rebuilds, so steady-state steps allocate nothing.
+  void rebuild(const ParticleStore& store, std::int32_t num_cells);
 
   std::span<const std::int32_t> particles_in(std::int32_t cell) const {
     return {items_.data() + start_[cell],
@@ -88,6 +93,7 @@ class CellIndex {
  private:
   std::vector<std::int64_t> start_;
   std::vector<std::int32_t> items_;
+  std::vector<std::int64_t> cursor_;  // fill scratch, reused across rebuilds
 };
 
 }  // namespace dsmcpic::dsmc

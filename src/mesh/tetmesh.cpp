@@ -49,6 +49,34 @@ void TetMesh::compute_derived() {
     centroids_[t] =
         (nodes_[tt[0]] + nodes_[tt[1]] + nodes_[tt[2]] + nodes_[tt[3]]) / 4.0;
   }
+  build_geometry_caches();
+}
+
+void TetMesh::build_geometry_caches() {
+  const auto n = tets_.size();
+  face_planes_.resize(n);
+  bary_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto ti = static_cast<std::int32_t>(t);
+    for (int f = 0; f < 4; ++f) {
+      // Same expressions as the recomputing path, so the cached plane data
+      // is bitwise what ray_exit_face_recompute / face_normal_recompute
+      // would derive on the fly.
+      const auto fn = face_nodes(ti, f);
+      const Vec3& p0 = nodes_[fn[0]];
+      const Vec3 nrm = cross(nodes_[fn[1]] - p0, nodes_[fn[2]] - p0);
+      face_planes_[t][f] = {nrm, p0, nrm.normalized()};
+    }
+    const auto& tt = tets_[t];
+    const Vec3& a = nodes_[tt[0]];
+    const Vec3 e1 = nodes_[tt[1]] - a;
+    const Vec3 e2 = nodes_[tt[2]] - a;
+    const Vec3 e3 = nodes_[tt[3]] - a;
+    const double det = triple(e1, e2, e3);  // = 6 * volume > 0 after reorient
+    bary_[t].anchor = a;
+    bary_[t].rows = {cross(e2, e3) / det, cross(e3, e1) / det,
+                     cross(e1, e2) / det};
+  }
 }
 
 namespace {
@@ -125,6 +153,11 @@ std::array<std::int32_t, 3> TetMesh::face_nodes(std::int32_t t, int f) const {
 }
 
 Vec3 TetMesh::face_normal(std::int32_t t, int f) const {
+  if (geometry_cache_enabled_) return face_planes_[t][f].unit_normal;
+  return face_normal_recompute(t, f);
+}
+
+Vec3 TetMesh::face_normal_recompute(std::int32_t t, int f) const {
   const auto fn = face_nodes(t, f);
   const Vec3& p0 = nodes_[fn[0]];
   return cross(nodes_[fn[1]] - p0, nodes_[fn[2]] - p0).normalized();
@@ -142,6 +175,19 @@ Vec3 TetMesh::face_centroid(std::int32_t t, int f) const {
 }
 
 std::array<double, 4> TetMesh::barycentric(std::int32_t t, const Vec3& p) const {
+  if (geometry_cache_enabled_) {
+    const BaryCache& bc = bary_[t];
+    const Vec3 r = p - bc.anchor;
+    const double l1 = dot(bc.rows[0], r);
+    const double l2 = dot(bc.rows[1], r);
+    const double l3 = dot(bc.rows[2], r);
+    return {1.0 - l1 - l2 - l3, l1, l2, l3};
+  }
+  return barycentric_recompute(t, p);
+}
+
+std::array<double, 4> TetMesh::barycentric_recompute(std::int32_t t,
+                                                     const Vec3& p) const {
   const auto& tt = tets_[t];
   const Vec3& a = nodes_[tt[0]];
   const Vec3& b = nodes_[tt[1]];
@@ -204,6 +250,27 @@ std::int32_t TetMesh::locate_brute(const Vec3& p) const {
 
 int TetMesh::ray_exit_face(std::int32_t t, const Vec3& origin, const Vec3& dir,
                            double* t_exit) const {
+  if (!geometry_cache_enabled_)
+    return ray_exit_face_recompute(t, origin, dir, t_exit);
+  const auto& planes = face_planes_[t];
+  int best_face = -1;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (int f = 0; f < 4; ++f) {
+    const FacePlane& pl = planes[f];
+    const double denom = dot(dir, pl.normal);
+    if (denom <= 0.0) continue;  // moving away from (or parallel to) face
+    const double tf = dot(pl.anchor - origin, pl.normal) / denom;
+    if (tf >= -1e-14 && tf < best_t) {
+      best_t = tf;
+      best_face = f;
+    }
+  }
+  if (t_exit) *t_exit = best_t;
+  return best_face;
+}
+
+int TetMesh::ray_exit_face_recompute(std::int32_t t, const Vec3& origin,
+                                     const Vec3& dir, double* t_exit) const {
   int best_face = -1;
   double best_t = std::numeric_limits<double>::infinity();
   for (int f = 0; f < 4; ++f) {

@@ -44,6 +44,24 @@ using BoundaryClassifier =
 
 class TetMesh {
  public:
+  /// Per-face plane cache: the outward cross-product normal (unnormalized,
+  /// exactly as the recomputing path derives it from the face_nodes
+  /// ordering), the position of face node 0 (the plane anchor), and the
+  /// unit normal. Precomputed once at mesh build so ray_exit_face is four
+  /// dot products instead of four cross products.
+  struct FacePlane {
+    Vec3 normal;       // cross(n1 - n0, n2 - n0), points out of the tet
+    Vec3 anchor;       // position of face node 0
+    Vec3 unit_normal;  // normal.normalized()
+  };
+
+  /// Per-tet barycentric solve cache: the inverse edge matrix stored as
+  /// rows, so l[i+1] = dot(rows[i], p - anchor) and l[0] = 1 - l1 - l2 - l3.
+  struct BaryCache {
+    Vec3 anchor;                // position of tet node 0
+    std::array<Vec3, 3> rows;   // rows of the 3x3 inverse of [e1 e2 e3]
+  };
+
   TetMesh() = default;
   TetMesh(std::vector<Vec3> nodes, std::vector<std::array<std::int32_t, 4>> tets);
 
@@ -97,6 +115,22 @@ class TetMesh {
   int ray_exit_face(std::int32_t t, const Vec3& origin, const Vec3& dir,
                     double* t_exit) const;
 
+  /// Toggles use of the precomputed geometry caches. When off, barycentric
+  /// / face_normal / ray_exit_face fall back to the recomputing paths (the
+  /// caches stay built). For the cache equivalence test only.
+  void set_geometry_cache_enabled(bool on) { geometry_cache_enabled_ = on; }
+  bool geometry_cache_enabled() const { return geometry_cache_enabled_; }
+
+  /// Recomputing variants, deriving everything from raw node coordinates on
+  /// every call. Kept as the reference implementations for the cache
+  /// equivalence test. ray_exit_face and face_normal are bit-identical to
+  /// the cached paths; barycentric differs in rounding (volume ratios vs a
+  /// precomputed matrix-vector product).
+  std::array<double, 4> barycentric_recompute(std::int32_t t, const Vec3& p) const;
+  Vec3 face_normal_recompute(std::int32_t t, int f) const;
+  int ray_exit_face_recompute(std::int32_t t, const Vec3& origin,
+                              const Vec3& dir, double* t_exit) const;
+
   /// Builds face adjacency; must be called after construction (the
   /// constructor does it automatically).
   void build_adjacency();
@@ -126,6 +160,7 @@ class TetMesh {
 
  private:
   void compute_derived();
+  void build_geometry_caches();
 
   std::vector<Vec3> nodes_;
   std::vector<std::array<std::int32_t, 4>> tets_;
@@ -133,6 +168,9 @@ class TetMesh {
   std::vector<std::array<BoundaryKind, 4>> face_kinds_;
   std::vector<double> volumes_;
   std::vector<Vec3> centroids_;
+  std::vector<std::array<FacePlane, 4>> face_planes_;
+  std::vector<BaryCache> bary_;
+  bool geometry_cache_enabled_ = true;
   std::array<std::vector<BoundaryFace>, 4> boundary_lists_;  // by kind
 };
 

@@ -42,6 +42,10 @@ namespace dsmcpic::par {
 /// How superstep bodies are executed. Both modes produce bit-identical
 /// results (clocks, phase stats, message ordering, physics) — kThreaded
 /// only changes wall-clock time, never virtual time. See DESIGN.md §2c.
+/// Orthogonal to ParallelConfig::kernel_threads (DESIGN.md §2d): rank
+/// bodies may additionally chunk their own kernels over a shared kernel
+/// pool; virtual clocks are computed from counted work either way, so
+/// neither level of real threading moves them.
 enum class ExecMode { kSequential, kThreaded };
 
 struct ExecOptions {

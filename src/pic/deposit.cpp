@@ -23,28 +23,78 @@ DepositStats deposit_charge(const dsmc::ParticleStore& store,
                             const dsmc::SpeciesTable& table,
                             std::span<const std::int32_t> sorted_nodes,
                             std::span<const std::uint8_t> removed,
-                            std::span<double> node_charge) {
+                            std::span<double> node_charge,
+                            const support::KernelExec* exec,
+                            DepositScratch* scratch) {
   DSMCPIC_CHECK(node_charge.size() == sorted_nodes.size());
   DepositStats stats;
   const auto positions = store.positions();
   const auto cells = store.cells();
   const auto species = store.species();
   const mesh::TetMesh& fine = grid.fine();
+  const std::int64_t n = static_cast<std::int64_t>(store.size());
 
-  for (std::size_t i = 0; i < store.size(); ++i) {
-    if (!removed.empty() && removed[i]) continue;
-    const dsmc::Species& sp = table[species[i]];
-    if (!sp.charged()) continue;
-    const std::int32_t fc = grid.locate(cells[i], positions[i]);
-    if (fc < 0) {
+  if (!exec || exec->serial() || !scratch) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!removed.empty() && removed[i]) continue;
+      const dsmc::Species& sp = table[species[i]];
+      if (!sp.charged()) continue;
+      const std::int32_t fc = grid.locate(cells[i], positions[i]);
+      if (fc < 0) {
+        ++stats.lost;
+        continue;
+      }
+      const auto w = fine.barycentric(fc, positions[i]);
+      const double q = sp.charge * sp.fnum;
+      const auto& nd = fine.tet(fc);
+      for (int k = 0; k < 4; ++k)
+        node_charge[local_of(sorted_nodes, nd[k])] += q * w[k];
+      ++stats.deposited;
+    }
+    return stats;
+  }
+
+  // Phase 1 (parallel): per-particle contributions into disjoint scratch
+  // slots. Phase 2 (serial): scatter in particle order, so the accumulation
+  // order — and every bit of node_charge — matches the single-pass loop.
+  auto& entries = scratch->entries;
+  if (entries.size() < static_cast<std::size_t>(n))
+    entries.resize(static_cast<std::size_t>(n));
+  exec->for_chunks(n, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      DepositScratch::Entry& e = entries[i];
+      if (!removed.empty() && removed[i]) {
+        e.status = 0;
+        continue;
+      }
+      const dsmc::Species& sp = table[species[i]];
+      if (!sp.charged()) {
+        e.status = 0;
+        continue;
+      }
+      const std::int32_t fc = grid.locate(cells[i], positions[i]);
+      if (fc < 0) {
+        e.status = 2;
+        continue;
+      }
+      const auto w = fine.barycentric(fc, positions[i]);
+      const double q = sp.charge * sp.fnum;
+      const auto& nd = fine.tet(fc);
+      for (int k = 0; k < 4; ++k) {
+        e.node[k] = local_of(sorted_nodes, nd[k]);
+        e.val[k] = q * w[k];
+      }
+      e.status = 1;
+    }
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    const DepositScratch::Entry& e = entries[i];
+    if (e.status == 0) continue;
+    if (e.status == 2) {
       ++stats.lost;
       continue;
     }
-    const auto w = fine.barycentric(fc, positions[i]);
-    const double q = sp.charge * sp.fnum;
-    const auto& nd = fine.tet(fc);
-    for (int k = 0; k < 4; ++k)
-      node_charge[local_of(sorted_nodes, nd[k])] += q * w[k];
+    for (int k = 0; k < 4; ++k) node_charge[e.node[k]] += e.val[k];
     ++stats.deposited;
   }
   return stats;

@@ -12,6 +12,7 @@
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
 #include "pic/fine_grid.hpp"
+#include "support/kernel_exec.hpp"
 
 namespace dsmcpic::pic {
 
@@ -20,15 +21,34 @@ struct DepositStats {
   std::int64_t lost = 0;       // particles whose fine cell could not be found
 };
 
+/// Reusable per-rank scratch for the chunked deposit: one precomputed
+/// contribution slot per particle. Capacity persists across steps.
+struct DepositScratch {
+  struct Entry {
+    std::array<std::int32_t, 4> node;  // local (rank-compact) node indices
+    std::array<double, 4> val;         // q * w[k] per node
+    std::int8_t status;                // 0 skipped, 1 deposited, 2 lost
+  };
+  std::vector<Entry> entries;
+};
+
 /// Scatters charge (q * fnum, in coulomb) of all charged particles into
 /// `node_charge`, a compact per-rank vector indexed like `sorted_nodes`
 /// (ascending global fine-node ids — see NodeExchange::rank_nodes).
 /// Particles flagged in `removed` are skipped.
+///
+/// With `exec`, runs in two phases: the per-particle contributions (locate,
+/// barycentric weights, node lookup) are computed in parallel chunks into
+/// `scratch`, then scattered serially in particle order — so the floating
+/// point accumulation order, and hence every bit of `node_charge`, matches
+/// the serial single-pass version.
 DepositStats deposit_charge(const dsmc::ParticleStore& store,
                             const FineGrid& grid,
                             const dsmc::SpeciesTable& table,
                             std::span<const std::int32_t> sorted_nodes,
                             std::span<const std::uint8_t> removed,
-                            std::span<double> node_charge);
+                            std::span<double> node_charge,
+                            const support::KernelExec* exec = nullptr,
+                            DepositScratch* scratch = nullptr);
 
 }  // namespace dsmcpic::pic

@@ -4,6 +4,21 @@
 
 namespace dsmcpic::support {
 
+namespace {
+// Pool this thread is currently draining tasks for, if any. Lets a nested
+// parallel_for on the same pool fall back to inline execution instead of
+// deadlocking on batch_mu_.
+thread_local const ThreadPool* g_draining_pool = nullptr;
+
+struct DrainScope {
+  const ThreadPool* prev;
+  explicit DrainScope(const ThreadPool* p) : prev(g_draining_pool) {
+    g_draining_pool = p;
+  }
+  ~DrainScope() { g_draining_pool = prev; }
+};
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -29,6 +44,7 @@ void ThreadPool::record_error() {
 }
 
 void ThreadPool::drain(const std::function<void(int)>& fn, int n) {
+  DrainScope scope(this);
   for (;;) {
     int i;
     {
@@ -67,10 +83,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  if (workers_.empty() || n == 1) {
+  if (workers_.empty() || n == 1 || g_draining_pool == this) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
+  std::lock_guard<std::mutex> batch(batch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_ = &fn;

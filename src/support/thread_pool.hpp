@@ -1,5 +1,6 @@
 #pragma once
-// Fixed-size worker pool for the runtime's threaded execution backend.
+// Fixed-size worker pool for the runtime's threaded execution backend and
+// the intra-rank kernel executor.
 //
 // The pool exists for exactly one call shape: parallel_for(n, fn) runs
 // fn(0..n-1) across the workers plus the calling thread and returns when
@@ -9,6 +10,14 @@
 // this by giving every rank its own clock slot, busy slot, and staging
 // buffer; see DESIGN.md §2c). The first exception thrown by any index is
 // captured and rethrown on the calling thread after the batch drains.
+//
+// Dispatch rules for the two-level execution model (DESIGN.md §2d):
+//  * Concurrent external callers are legal: batches are serialized on an
+//    internal mutex, so several superstep rank bodies may share one kernel
+//    pool — their batches simply run one after another.
+//  * Nested calls (parallel_for from inside an fn running on this pool)
+//    degrade to inline serial execution instead of deadlocking on the
+//    batch mutex.
 
 #include <condition_variable>
 #include <cstdint>
@@ -34,7 +43,8 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(i) for every i in [0, n) and blocks until all complete.
-  /// Not reentrant: fn must not call parallel_for on the same pool.
+  /// Callable from multiple threads (batches serialize); a nested call from
+  /// inside fn on the same pool runs its indices inline on that thread.
   void parallel_for(int n, const std::function<void(int)>& fn);
 
  private:
@@ -44,6 +54,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  std::mutex batch_mu_;  // serializes whole batches from external callers
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -35,7 +35,7 @@ struct RunResult {
 
 RunResult run_solver(par::ExecMode mode, int nranks, int threads,
                      exchange::Strategy strategy, bool balance_enabled,
-                     int steps) {
+                     int steps, int kernel_threads = 1) {
   ParallelConfig par;
   par.nranks = nranks;
   par.strategy = strategy;
@@ -43,6 +43,7 @@ RunResult run_solver(par::ExecMode mode, int nranks, int threads,
   par.balance.period = 4;
   par.exec_mode = mode;
   par.exec_threads = threads;
+  par.kernel_threads = kernel_threads;
   CoupledSolver solver(tiny_config(), par);
   solver.run(steps);
 
@@ -137,6 +138,49 @@ TEST(Determinism, CentralizedExchangeAndOddLaneCount) {
                  exchange::Strategy::kCentralized, /*balance=*/false, 6);
   expect_identical(seq, thr3);
   expect_identical(thr3, thr2);
+}
+
+// Intra-rank kernel parallelism (DESIGN.md §2d): chunking move/collide/
+// react/deposit over a kernel pool must be bit-identical to serial kernels
+// in every observable, field for field.
+TEST(KernelThreads, FourLanesMatchSerialBitwise) {
+  const RunResult serial =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/1);
+  const RunResult kt4 =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/4);
+  expect_identical(serial, kt4);
+}
+
+// Both levels at once: threaded superstep dispatch on top of kernel chunking
+// (rank bodies share one kernel pool; its batches serialize internally).
+TEST(KernelThreads, ComposesWithThreadedExecMode) {
+  const RunResult serial =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  const RunResult both =
+      run_solver(par::ExecMode::kThreaded, 8, 4,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/2);
+  expect_identical(serial, both);
+}
+
+// Lane-count independence: the chunk boundaries differ between 2 and 4
+// lanes, so agreement shows the kernels are invariant under chunking, not
+// merely schedule-lucky.
+TEST(KernelThreads, LaneCountIndependence) {
+  const RunResult kt2 =
+      run_solver(par::ExecMode::kSequential, 6, 0,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6,
+                 /*kernel_threads=*/2);
+  const RunResult kt4 =
+      run_solver(par::ExecMode::kSequential, 6, 0,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6,
+                 /*kernel_threads=*/4);
+  expect_identical(kt2, kt4);
 }
 
 }  // namespace

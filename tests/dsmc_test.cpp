@@ -370,6 +370,63 @@ TEST(Collide, VhsCrossSectionDecreasesWithSpeed) {
   EXPECT_GT(s2, 0.0);
 }
 
+// The per-pair constant cache must reproduce the free function exactly:
+// the precomputed groupings (pi d^2, 2 kB T_ref, Gamma term) are the same
+// subexpressions, so EXPECT_EQ (bitwise for doubles) is the contract.
+TEST(Collide, VhsPairCacheMatchesFreeFunctionBitwise) {
+  const mesh::TetMesh grid = mesh::make_cylinder_nozzle(test_spec());
+  const SpeciesTable table = SpeciesTable::hydrogen(1e12, 6000.0);
+  CollisionKernel kernel(grid, table, CollisionConfig{});
+  for (std::int32_t si = 0; si < table.size(); ++si) {
+    for (std::int32_t sj = 0; sj < table.size(); ++sj) {
+      for (const double c_r : {1e2, 1.7e3, 1e4, 3.33e5, 0.0}) {
+        EXPECT_EQ(kernel.vhs_sigma(si, sj, c_r),
+                  vhs_cross_section(table[si], table[sj], c_r))
+            << "pair (" << si << "," << sj << ") c_r=" << c_r;
+      }
+    }
+  }
+}
+
+TEST(CellIndex, RebuildMatchesFreshBuildAndReusesStorage) {
+  ParticleStore store;
+  Rng rng(0xce11ULL);
+  const std::int32_t num_cells = 13;
+  for (int i = 0; i < 200; ++i) {
+    ParticleRecord p;
+    p.id = i;
+    p.cell = static_cast<std::int32_t>(rng.uniform_index(num_cells));
+    store.add(p);
+  }
+  CellIndex reused;
+  reused.rebuild(store, num_cells);
+  {
+    const CellIndex fresh(store, num_cells);
+    for (std::int32_t c = 0; c < num_cells; ++c) {
+      const auto a = fresh.particles_in(c);
+      const auto b = reused.particles_in(c);
+      ASSERT_EQ(a.size(), b.size()) << "cell " << c;
+      for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+    }
+  }
+  // Mutate the population and rebuild in place: still equal to scratch.
+  for (int i = 0; i < 57; ++i) {
+    ParticleRecord p;
+    p.id = 1000 + i;
+    p.cell = static_cast<std::int32_t>(rng.uniform_index(num_cells));
+    store.add(p);
+  }
+  reused.rebuild(store, num_cells);
+  const CellIndex fresh(store, num_cells);
+  EXPECT_EQ(reused.num_cells(), num_cells);
+  for (std::int32_t c = 0; c < num_cells; ++c) {
+    const auto a = fresh.particles_in(c);
+    const auto b = reused.particles_in(c);
+    ASSERT_EQ(a.size(), b.size()) << "cell " << c;
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
 TEST(Chemistry, IonizationSpawnsIonAboveThreshold) {
   const SpeciesTable table = SpeciesTable::hydrogen(1e12, 6000.0);
   ChemistryConfig cfg;
@@ -387,13 +444,17 @@ TEST(Chemistry, IonizationSpawnsIonAboveThreshold) {
   }
   Rng rng(5);
   ChemistryStats stats;
-  EXPECT_TRUE(chem.try_ionization(rng, store, 0, 1, 1e-20, stats));
+  std::vector<ParticleRecord> spawned;
+  EXPECT_TRUE(chem.try_ionization(rng, store, 0, 1, 1e-20, stats, spawned));
   EXPECT_EQ(stats.ionizations, 1);
+  ASSERT_EQ(spawned.size(), 1u);
+  store.add(spawned[0]);
   ASSERT_EQ(store.size(), 3u);
   EXPECT_EQ(store.species()[2], kSpeciesHPlus);
   // Below threshold: nothing happens.
-  EXPECT_FALSE(chem.try_ionization(rng, store, 0, 1, 1e-22, stats));
-  EXPECT_EQ(store.size(), 3u);
+  spawned.clear();
+  EXPECT_FALSE(chem.try_ionization(rng, store, 0, 1, 1e-22, stats, spawned));
+  EXPECT_TRUE(spawned.empty());
 }
 
 TEST(Chemistry, RecombinationRemovesIons) {

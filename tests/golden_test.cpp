@@ -41,12 +41,14 @@ SolverConfig tiny_config() {
   return d.config;
 }
 
-std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled) {
+std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
+                         int kernel_threads = 1) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
   par.balance.enabled = balance_enabled;
   par.balance.period = 3;
+  par.kernel_threads = kernel_threads;
   CoupledSolver solver(tiny_config(), par);
   solver.run(8);
 
@@ -98,6 +100,16 @@ TEST(Golden, CentralizedNoRebalance) {
   const std::uint64_t got =
       run_digest(exchange::Strategy::kCentralized, /*balance=*/false);
   EXPECT_EQ(got, kGoldenCcUnbalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// Intra-rank kernel parallelism must hit the SAME golden value as the
+// serial-kernel run — the knob is required to be invisible in every digest
+// input (diagnostics and virtual clocks alike).
+TEST(Golden, KernelThreadsFourMatchesSerialGolden) {
+  const std::uint64_t got = run_digest(exchange::Strategy::kDistributed,
+                                       /*balance=*/true, /*kernel_threads=*/4);
+  EXPECT_EQ(got, kGoldenDcBalanced)
       << "new digest: 0x" << std::hex << got << "ULL";
 }
 

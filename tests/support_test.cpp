@@ -6,6 +6,7 @@
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/kernel_exec.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -179,6 +180,65 @@ TEST(ThreadPool, PropagatesFirstException) {
 TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   support::ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1);
+}
+
+// Two-level dispatch rule 1: a nested parallel_for on the SAME pool runs
+// inline instead of deadlocking on the batch mutex.
+TEST(ThreadPool, NestedCallRunsInline) {
+  support::ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  pool.parallel_for(6, [&](int) {
+    pool.parallel_for(5, [&](int) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 30);
+}
+
+// Two-level dispatch rule 2: concurrent external callers serialize their
+// batches — here superstep-style bodies on one pool all fan out onto a
+// second, shared kernel pool.
+TEST(ThreadPool, ConcurrentExternalBatchesSerialize) {
+  support::ThreadPool ranks(4);
+  support::ThreadPool kernels(2);
+  std::atomic<long> total{0};
+  ranks.parallel_for(8, [&](int) {
+    kernels.parallel_for(10, [&](int i) { total.fetch_add(i); });
+  });
+  EXPECT_EQ(total.load(), 8 * 45);
+}
+
+TEST(KernelExec, SerialExecutorRunsOneChunkInline) {
+  support::KernelExec exec(1);
+  EXPECT_TRUE(exec.serial());
+  EXPECT_EQ(exec.num_chunks(1000), 1);
+  int calls = 0;
+  std::int64_t begin = -1, end = -1;
+  exec.for_chunks(17, [&](int c, std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(c, 0);
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 17);
+}
+
+TEST(KernelExec, ChunksExactlyCoverTheRange) {
+  support::KernelExec exec(4);
+  EXPECT_FALSE(exec.serial());
+  for (const std::int64_t n : {2LL, 7LL, 64LL, 1000LL}) {
+    const int nc = exec.num_chunks(n);
+    EXPECT_GE(nc, 2);
+    EXPECT_LE(nc, 64);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    exec.for_chunks(n, [&](int c, std::int64_t b, std::int64_t e) {
+      EXPECT_EQ(b, support::KernelExec::chunk_begin(n, nc, c));
+      EXPECT_EQ(e, support::KernelExec::chunk_begin(n, nc, c + 1));
+      for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+  }
 }
 
 }  // namespace
