@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
   Cli cli("Design-choice ablations: exchange strategies, k-way refinement, "
           "Poisson preconditioning");
   bench::CommonFlags common(cli, "24,96,384", 30);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 
   strategy_ablation(opt);

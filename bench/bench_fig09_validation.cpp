@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   bench::CommonFlags common(cli, "4", 80);
   const auto* npoints = cli.add_int("points", 12, "axis sample points");
   const auto* repeats = cli.add_int("repeats", 3, "repeated runs for RSD");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 
   const core::Dataset ds = core::make_dataset(1, opt.particle_scale);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
           "analogue, Tianhe-2 profile)");
   bench::CommonFlags common(cli, "24,48,96,192,384", 40);
   const auto* t_list = cli.add_string("T", "5,10,20", "T values to sweep");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
   const std::vector<int> periods = bench::parse_rank_list(*t_list);
 

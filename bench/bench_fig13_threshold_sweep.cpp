@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::CommonFlags common(cli, "24,48,96,192,384", 40);
   const auto* th_list =
       cli.add_string("thresholds", "1.5,2.0,3.0", "threshold values");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 
   std::vector<double> thresholds;

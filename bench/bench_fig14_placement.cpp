@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   Cli cli("Fig. 14 — MPI rank placement impact (Dataset 2 analogue, "
           "Tianhe-2 profile, <= 96 ranks)");
   bench::CommonFlags common(cli, "24,48,96", 40);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);

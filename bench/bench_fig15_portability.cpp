@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
           "profiles, Datasets 2/4/5/6");
   bench::CommonFlags common(cli, "24,96,384", 30);
   const auto* ds_list = cli.add_string("datasets", "2,4,5,6", "dataset ids");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions base_opt = common.finish();
   const std::vector<int> dataset_ids = bench::parse_rank_list(*ds_list);
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "dsmc/collide.hpp"
 #include "dsmc/mover.hpp"
 #include "dsmc/particles.hpp"
@@ -123,7 +124,7 @@ int main(int argc, char** argv) {
   const auto* reps = cli.add_int("reps", 5, "timed repetitions (best-of)");
   const auto* out =
       cli.add_string("out", "BENCH_kernels.json", "output JSON path");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
 
   const int nreps = static_cast<int>(*reps);
   mesh::NozzleSpec spec;

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   Cli cli("Table III — DSMC_Move / PIC_Move times with vs without LB "
           "(Dataset 2 analogue, DC strategy, Tianhe-2 profile)");
   bench::CommonFlags common(cli, "24,48,96,192,384", 40);
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::CommonFlags common(cli, "24,48,96,192,384", 40);
   const auto* w_list =
       cli.add_string("wcell", "1,10,100,1000,10000", "W_cell values");
-  if (!cli.parse(argc, argv)) return 0;
+  if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
   const std::vector<int> wcells = bench::parse_rank_list(*w_list);
 

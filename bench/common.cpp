@@ -1,8 +1,14 @@
 #include "common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "trace/chrome_writer.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/recorder.hpp"
 
 namespace dsmcpic::bench {
 
@@ -33,6 +39,10 @@ CommonFlags::CommonFlags(Cli& cli, const std::string& default_ranks,
   kernel_threads_ = cli.add_int(
       "kernel-threads", 1,
       "intra-rank kernel lanes (1 = serial; bit-identical results)");
+  trace_ = cli.add_string(
+      "trace", "",
+      "write a Chrome/Perfetto trace JSON of each case to this path "
+      "(plus .metrics.csv and a critical-path report on stderr)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -45,7 +55,21 @@ BenchOptions CommonFlags::finish() const {
   o.exec_mode = par::parse_exec_mode(*exec_mode_);
   o.exec_threads = static_cast<int>(*threads_);
   o.kernel_threads = static_cast<int>(*kernel_threads_);
+  o.trace_path = *trace_;
   return o;
+}
+
+bool parse_or_usage(Cli& cli, int argc, const char* const* argv) {
+  try {
+    if (!cli.parse(argc, argv)) return false;
+    DSMCPIC_CHECK_MSG(cli.positional().empty(),
+                      "unexpected argument '" << cli.positional().front()
+                                              << "'\n" << cli.help_text());
+    return true;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
 }
 
 std::vector<int> parse_rank_list(const std::string& csv) {
@@ -86,6 +110,16 @@ core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
   return par;
 }
 
+std::string trace_case_path(const std::string& base, int index) {
+  if (index == 0) return base;
+  const std::string insert = ".case" + std::to_string(index);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + insert;
+  return base.substr(0, dot) + insert + base.substr(dot);
+}
+
 CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
                     const BenchOptions& opt) {
   core::SolverConfig cfg = ds.config;
@@ -93,7 +127,31 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
   cfg.poisson.rel_tol = 1e-5;  // KSP-like default tolerance
   cfg.poisson.max_iterations = 200;
   core::CoupledSolver solver(cfg, par);
+
+  std::unique_ptr<trace::TraceRecorder> rec;
+  if (!opt.trace_path.empty()) {
+    rec = std::make_unique<trace::TraceRecorder>(par.nranks);
+    solver.runtime().set_tracer(rec.get());
+  }
+
   solver.run(opt.steps);
+
+  if (rec) {
+    solver.runtime().set_tracer(nullptr);
+    // One trace file per case: the process-wide counter disambiguates the
+    // multiple run_case() calls a bench makes (sweep points, LB on/off).
+    static int trace_case = 0;
+    const std::string path = trace_case_path(opt.trace_path, trace_case++);
+    trace::write_chrome_trace(*rec, path);
+    rec->metrics().write_csv(path + ".metrics.csv");
+    std::fprintf(stderr, "trace: %s (+.metrics.csv), %zu spans, %zu messages\n",
+                 path.c_str(), rec->spans().size(), rec->messages().size());
+    trace::CriticalPathAnalyzer cp(*rec);
+    std::ostringstream report;
+    cp.print(cp.analyze(), report);
+    std::fputs(report.str().c_str(), stderr);
+  }
+
   CaseResult r;
   r.summary = solver.summary();
   r.history = solver.history();

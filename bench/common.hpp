@@ -26,6 +26,12 @@ struct BenchOptions {
   int exec_threads = 0;  // <= 0: one lane per hardware thread
   // Intra-rank kernel lanes (orthogonal to exec_mode; bit-identical too).
   int kernel_threads = 1;
+  // When non-empty, every run_case() records a virtual-time trace and
+  // writes <trace_path> (Chrome/Perfetto JSON), <trace_path>.metrics.csv,
+  // and a critical-path report to stderr. Case N > 0 of a multi-case bench
+  // gets ".caseN" inserted before the extension. Recording never perturbs
+  // virtual clocks or physics (DESIGN.md §2e).
+  std::string trace_path;
 
   par::MachineProfile profile() const;
 };
@@ -45,10 +51,21 @@ class CommonFlags {
   const std::string* exec_mode_;
   const std::int64_t* threads_;
   const std::int64_t* kernel_threads_;
+  const std::string* trace_;
 };
+
+/// Parses argv for a bench binary. Returns false when --help was printed.
+/// On any CLI error — unknown flag, malformed value, or stray positional
+/// argument — prints the error plus usage to stderr and exits with status
+/// 2 instead of letting the exception escape to std::terminate.
+bool parse_or_usage(Cli& cli, int argc, const char* const* argv);
 
 /// Parses "24,48,96" into {24, 48, 96}.
 std::vector<int> parse_rank_list(const std::string& csv);
+
+/// Output path for case `index` of a multi-case bench: index 0 maps to
+/// `base`, case N > 0 gets ".caseN" inserted before the extension.
+std::string trace_case_path(const std::string& base, int index);
 
 /// Builds the parallel config for one case with paper-magnitude cost scales.
 core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,

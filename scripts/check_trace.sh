@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke-checks the tracing pipeline end-to-end: runs a trace-enabled
+# imbalanced bench, validates that the emitted Chrome/Perfetto JSON
+# actually parses, and asserts the trace has one named lane per virtual
+# rank plus spans and flow arrows. Catches exporter regressions (broken
+# escaping, truncated documents) that unit tests on the writer would miss.
+#
+#   scripts/check_trace.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+RANKS=4
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cmake --build "$BUILD" --target bench_fig05_imbalance -j
+
+"$BUILD"/bench/bench_fig05_imbalance \
+  --ranks "$RANKS" --steps 3 --trace "$OUT/trace.json" >/dev/null
+
+# bench_fig05 runs two cases (LB off / LB on) -> trace.json + trace.case1.json
+for f in "$OUT"/trace.json "$OUT"/trace.case1.json; do
+  [ -f "$f" ] || { echo "FAIL: $f was not written" >&2; exit 1; }
+  python3 -m json.tool "$f" > /dev/null \
+    || { echo "FAIL: $f is not valid JSON" >&2; exit 1; }
+  [ -f "$f.metrics.csv" ] || { echo "FAIL: $f.metrics.csv missing" >&2; exit 1; }
+
+  python3 - "$f" "$RANKS" <<'EOF'
+import json, sys
+path, nranks = sys.argv[1], int(sys.argv[2])
+events = json.load(open(path))["traceEvents"]
+lanes = {e["tid"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "thread_name"}
+missing = [r for r in range(nranks) if r not in lanes]
+assert not missing, f"{path}: no lane metadata for ranks {missing}"
+by_ph = {}
+for e in events:
+    by_ph[e.get("ph")] = by_ph.get(e.get("ph"), 0) + 1
+assert by_ph.get("X", 0) > 0, f"{path}: no spans"
+assert by_ph.get("s", 0) > 0 and by_ph.get("s") == by_ph.get("f"), \
+    f"{path}: unmatched flow arrows {by_ph}"
+for r in range(nranks):
+    assert any(e.get("ph") == "X" and e.get("tid") == r for e in events), \
+        f"{path}: rank {r} lane has no spans"
+print(f"{path}: {len(events)} events, lanes={sorted(lanes)}, "
+      f"spans={by_ph.get('X')}, flows={by_ph.get('s')}")
+EOF
+done
+
+echo "trace check clean."

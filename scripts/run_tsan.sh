@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -29,5 +29,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # react/deposit), then the full harness including both levels at once.
 "$BUILD"/tests/determinism_test --gtest_filter='KernelThreads.*'
 "$BUILD"/tests/determinism_test
+# Tracing claims driver-thread-only recording (DESIGN.md §2e); the
+# determinism suite runs trace-enabled solves over the threaded backend,
+# so a racy recorder hook would be flagged here.
+"$BUILD"/tests/trace_test
 
 echo "TSan sweep clean."

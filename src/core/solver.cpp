@@ -8,6 +8,7 @@
 #include "pic/deposit.hpp"
 #include "pic/field.hpp"
 #include "support/error.hpp"
+#include "trace/recorder.hpp"
 
 namespace dsmcpic::core {
 
@@ -392,6 +393,30 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   diag.rebalanced = true;
 }
 
+void CoupledSolver::record_trace_counters(const StepDiagnostics& diag) {
+  trace::TraceRecorder* tr = rt_->tracer();
+  if (!tr) return;
+  trace::MetricsRegistry& m = tr->metrics();
+  const std::int64_t step = diag.dsmc_step;
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    m.add("particles_owned", step, r,
+          static_cast<double>(diag.particles_per_rank[r]), rt_->clock(r));
+    m.add("cells_owned", step, r, static_cast<double>(my_cells_[r].size()),
+          rt_->clock(r));
+  }
+  const double t = rt_->total_time();
+  m.add("lii", step, -1, diag.lii, t);
+  m.add("migrated_dsmc", step, -1, static_cast<double>(diag.migrated_dsmc), t);
+  m.add("migrated_pic", step, -1, static_cast<double>(diag.migrated_pic), t);
+  const double exch_bytes = rt_->phase_stats(phases::kDsmcExchange).bytes +
+                            rt_->phase_stats(phases::kPicExchange).bytes +
+                            rt_->phase_stats(phases::kRebalance).bytes;
+  m.add("bytes_migrated", step, -1, exch_bytes - trace_prev_exch_bytes_, t);
+  trace_prev_exch_bytes_ = exch_bytes;
+  if (diag.rebalanced)
+    tr->add_instant(-1, "rebalance @ step " + std::to_string(step), t);
+}
+
 StepDiagnostics CoupledSolver::step() {
   StepDiagnostics diag;
   diag.dsmc_step = step_;
@@ -411,6 +436,7 @@ StepDiagnostics CoupledSolver::step() {
     diag.total_h += store.count_species(dsmc::kSpeciesH);
     diag.total_hplus += store.count_species(dsmc::kSpeciesHPlus);
   }
+  record_trace_counters(diag);
 
   ++step_;
   history_.push_back(diag);

@@ -111,6 +111,12 @@ class CoupledSolver {
   /// `phase` when charge_costs is true.
   void rebuild_parallel_structures(const std::string& phase, bool charge_costs);
 
+  /// Feeds the per-step counter registry of an attached trace recorder
+  /// (particles/cells owned per rank, migration volume, lii) and marks
+  /// rebalance decisions as instant events. No-op without a recorder;
+  /// reads accounting state only, so it cannot perturb the run.
+  void record_trace_counters(const StepDiagnostics& diag);
+
   void do_inject(StepDiagnostics& diag);
   void do_dsmc_move(StepDiagnostics& diag);
   void do_reindex();
@@ -160,6 +166,7 @@ class CoupledSolver {
 
   int step_ = 0;
   int steps_since_rebalance_ = 0;
+  double trace_prev_exch_bytes_ = 0.0;  // per-step migration-bytes delta
   std::vector<double> prev_total_, prev_pm_, prev_poi_;  // lii window
   balance::RebalanceStats lb_stats_;
   std::vector<StepDiagnostics> history_;

@@ -5,6 +5,7 @@
 
 #include "core/solver.hpp"
 #include "support/error.hpp"
+#include "trace/chrome_writer.hpp"
 
 namespace dsmcpic::core {
 
@@ -57,22 +58,21 @@ void PhaseTimeline::write_csv(const std::string& path) const {
 void PhaseTimeline::write_chrome_trace(const std::string& path) const {
   std::ofstream os(path);
   DSMCPIC_CHECK_MSG(os.good(), "cannot open " << path);
-  os << "[";
-  bool first = true;
+  // One lane, phases back to back — the shared emitter handles escaping of
+  // arbitrary phase names. For the per-rank multi-lane view, attach a
+  // trace::TraceRecorder to the runtime instead (docs/observability.md).
+  trace::ChromeTraceWriter w(os, trace::ChromeTraceWriter::Style::kArray);
   double cursor_us = 0.0;
   for (std::size_t s = 0; s < steps_.size(); ++s) {
     for (const auto& p : phase_names_) {
       const double dur_us = at(s, p) * 1e6;
       if (dur_us <= 0.0) continue;
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"name\": \"" << p << "\", \"cat\": \"phase\", \"ph\": \"X\""
-         << ", \"ts\": " << cursor_us << ", \"dur\": " << dur_us
-         << ", \"pid\": 0, \"tid\": 0, \"args\": {\"dsmc_step\": " << s << "}}";
+      w.complete(p, "phase", cursor_us, dur_us, 0, 0,
+                 "{\"dsmc_step\": " + std::to_string(s) + "}");
       cursor_us += dur_us;
     }
   }
-  os << "\n]\n";
+  w.finish();
 }
 
 }  // namespace dsmcpic::core

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/serialize.hpp"
+#include "trace/recorder.hpp"
 
 namespace dsmcpic::par {
 
@@ -19,6 +20,9 @@ void Comm::charge(WorkKind kind, double units) {
       rt_->scale_of(cost_class(kind));
   rt_->clocks_[rank_] += cost;
   rt_->charge_busy(rank_, rt_->current_phase_for_comm_, cost);
+  // Rank-private slot: safe under concurrent bodies, read after the join.
+  if (rt_->tracer_)
+    rt_->trace_work_[rank_][static_cast<int>(kind)] += units;
 }
 
 void Comm::send(int dst, int tag, std::span<const std::byte> payload,
@@ -92,6 +96,55 @@ const char* exec_mode_name(ExecMode mode) {
   return mode == ExecMode::kThreaded ? "threaded" : "seq";
 }
 
+void Runtime::set_tracer(trace::TraceRecorder* rec) {
+  if (rec) {
+    DSMCPIC_CHECK_MSG(rec->nranks() == nranks_,
+                      "trace recorder sized for " << rec->nranks()
+                                                  << " ranks, not " << nranks_);
+  }
+  tracer_ = rec;
+  trace_phase_ids_.assign(phase_names_.size(), -1);
+  trace_work_keys_ready_ = false;
+  trace_work_.assign(rec ? nranks_ : 0, {});
+}
+
+int Runtime::trace_phase(int pid) {
+  if (static_cast<std::size_t>(pid) >= trace_phase_ids_.size())
+    trace_phase_ids_.resize(phase_names_.size(), -1);
+  int& id = trace_phase_ids_[pid];
+  if (id < 0) id = tracer_->intern_phase(phase_names_[pid]);
+  return id;
+}
+
+void Runtime::trace_spans_since(const std::vector<double>& pre, int pid,
+                                trace::SpanKind kind, std::uint32_t seq,
+                                bool with_work) {
+  if (with_work && !trace_work_keys_ready_) {
+    for (std::size_t k = 0; k < kNumWorkKinds; ++k)
+      trace_work_keys_[k] =
+          tracer_->intern_key(work_kind_name(static_cast<WorkKind>(k)));
+    trace_work_keys_ready_ = true;
+  }
+  const int tp = trace_phase(pid);
+  for (int r = 0; r < nranks_; ++r) {
+    if (!(clocks_[r] > pre[r])) continue;
+    trace::Span s;
+    s.rank = r;
+    s.phase = tp;
+    s.kind = kind;
+    s.t0 = pre[r];
+    s.t1 = clocks_[r];
+    s.seq = seq;
+    if (with_work) {
+      for (std::size_t k = 0; k < kNumWorkKinds; ++k)
+        if (trace_work_[r][k] > 0.0)
+          s.work.push_back(
+              trace::WorkItem{trace_work_keys_[k], trace_work_[r][k]});
+    }
+    tracer_->add_span(std::move(s));
+  }
+}
+
 int Runtime::phase_id(const std::string& phase) {
   auto [it, inserted] = phase_ids_.try_emplace(
       phase, static_cast<int>(phase_names_.size()));
@@ -122,6 +175,12 @@ void Runtime::superstep(const std::string& phase,
   for (int r = 0; r < nranks_; ++r) inbox_[r] = std::move(pending_[r]);
   for (int r = 0; r < nranks_; ++r) pending_[r].clear();
 
+  if (tracer_) {
+    trace_seq_ = tracer_->next_seq();
+    trace_pre_ = clocks_;
+    for (auto& w : trace_work_) w.fill(0.0);
+  }
+
   in_superstep_ = true;
   current_phase_for_comm_ = pid;
   for (auto& s : staged_) s.clear();
@@ -140,7 +199,15 @@ void Runtime::superstep(const std::string& phase,
     }
   }
   in_superstep_ = false;
+  if (tracer_) {
+    trace_spans_since(trace_pre_, pid, trace::SpanKind::kCompute, trace_seq_,
+                      /*with_work=*/true);
+    trace_mid_ = clocks_;
+  }
   route_messages(pid);
+  if (tracer_)
+    trace_spans_since(trace_mid_, pid, trace::SpanKind::kComm, trace_seq_,
+                      /*with_work=*/false);
   for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
 }
 
@@ -176,6 +243,8 @@ void Runtime::route_messages(int phase) {
       const double bytes = static_cast<double>(m.payload.size()) * m.byte_scale;
       const double cost =
           topo_.alpha(m.src, m.dst) * congestion_mult + bytes * prof.beta;
+      const double send_begin = clocks_[m.src];
+      const double recv_begin = clocks_[m.dst];
       // Rendezvous: both endpoints are busy for the transfer.
       clocks_[m.src] += cost;
       charge_busy(m.src, phase, cost);
@@ -183,6 +252,21 @@ void Runtime::route_messages(int phase) {
       charge_busy(m.dst, phase, cost);
       phase_transactions_[phase] += 1;
       phase_bytes_[phase] += bytes;
+      if (tracer_) {
+        trace::MessageRec rec;
+        rec.src = m.src;
+        rec.dst = m.dst;
+        rec.tag = m.tag;
+        rec.bytes = m.payload.size();
+        rec.scaled_bytes = bytes;
+        rec.send_begin = send_begin;
+        rec.send_end = clocks_[m.src];
+        rec.recv_begin = recv_begin;
+        rec.recv_end = clocks_[m.dst];
+        rec.phase = trace_phase(phase);
+        rec.seq = trace_seq_;
+        tracer_->add_message(std::move(rec));
+      }
       pending_[m.dst].push_back(std::move(m));
     }
     buf.clear();
@@ -236,7 +320,23 @@ void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
 
 void Runtime::sync_clocks(double extra_cost_per_rank, int phase) {
   double mx = 0.0;
-  for (double c : clocks_) mx = std::max(mx, c);
+  int argmax = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (clocks_[r] > mx) {
+      mx = clocks_[r];
+      argmax = r;
+    }
+  }
+  if (tracer_) {
+    trace::SyncRec s;
+    s.phase = trace_phase(phase);
+    s.seq = tracer_->next_seq();
+    s.t_max = mx;
+    s.t_end = mx + extra_cost_per_rank;
+    s.argmax_rank = argmax;
+    s.arrive = clocks_;
+    tracer_->add_sync(std::move(s));
+  }
   for (int r = 0; r < nranks_; ++r) {
     clocks_[r] = mx + extra_cost_per_rank;
     charge_busy(r, phase, extra_cost_per_rank);
@@ -335,6 +435,11 @@ void Runtime::charge_gather(const std::string& phase, int root,
   DSMCPIC_CHECK(root >= 0 && root < nranks_);
   const int pid = phase_id(phase);
   const MachineProfile& prof = topo_.profile();
+  std::uint32_t seq = 0;
+  if (tracer_) {
+    seq = tracer_->next_seq();
+    trace_pre_ = clocks_;
+  }
   // Root receives N-1 serialized messages; every other rank pays one send.
   double root_cost = 0.0;
   for (int r = 0; r < nranks_; ++r) {
@@ -346,6 +451,9 @@ void Runtime::charge_gather(const std::string& phase, int root,
   }
   clocks_[root] += root_cost;
   charge_busy(root, pid, root_cost);
+  if (tracer_)
+    trace_spans_since(trace_pre_, pid, trace::SpanKind::kComm, seq,
+                      /*with_work=*/false);
 }
 
 void Runtime::charge_rank(const std::string& phase, int rank, WorkKind kind,
@@ -354,8 +462,21 @@ void Runtime::charge_rank(const std::string& phase, int rank, WorkKind kind,
   const int pid = phase_id(phase);
   const double cost = units * topo_.profile().costs[static_cast<int>(kind)] *
                       scale_of(cost_class(kind));
+  const double pre = clocks_[rank];
   clocks_[rank] += cost;
   charge_busy(rank, pid, cost);
+  if (tracer_ && clocks_[rank] > pre) {
+    trace::Span s;
+    s.rank = rank;
+    s.phase = trace_phase(pid);
+    s.kind = trace::SpanKind::kCompute;
+    s.t0 = pre;
+    s.t1 = clocks_[rank];
+    s.seq = tracer_->next_seq();
+    s.work.push_back(trace::WorkItem{
+        tracer_->intern_key(work_kind_name(kind)), units});
+    tracer_->add_span(std::move(s));
+  }
 }
 
 double Runtime::total_time() const {
@@ -436,6 +557,8 @@ void Runtime::load(std::istream& is) {
     phase_transactions_.push_back(io::read_pod<std::uint64_t>(is));
     phase_bytes_.push_back(io::read_pod<double>(is));
   }
+  // Phase ids were renumbered; drop any cached recorder mapping.
+  trace_phase_ids_.assign(phase_names_.size(), -1);
 }
 
 }  // namespace dsmcpic::par

@@ -37,6 +37,11 @@
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
+namespace dsmcpic::trace {
+class TraceRecorder;
+enum class SpanKind : std::uint8_t;
+}
+
 namespace dsmcpic::par {
 
 /// How superstep bodies are executed. Both modes produce bit-identical
@@ -265,6 +270,16 @@ class Runtime {
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
+  // ---- tracing (DESIGN.md §2e) ------------------------------------------
+  /// Attaches a trace recorder; nullptr detaches. Recording is pure
+  /// observation — it never moves a clock or touches physics state — and
+  /// all hooks run on the driver thread, so traces are bit-identical
+  /// across ExecMode / kernel-thread settings. The recorder must be sized
+  /// for this runtime's rank count and must outlive the attachment. Not
+  /// part of the checkpoint state.
+  void set_tracer(trace::TraceRecorder* rec);
+  trace::TraceRecorder* tracer() const { return tracer_; }
+
  private:
   friend class Comm;
 
@@ -272,6 +287,12 @@ class Runtime {
   void charge_busy(int rank, int phase, double seconds);
   void sync_clocks(double extra_cost_per_rank, int phase);
   void route_messages(int phase);
+  /// Interns runtime phase `pid` into the attached recorder (cached).
+  int trace_phase(int pid);
+  /// Emits one span per rank for clock movement since `pre` (tracer only).
+  void trace_spans_since(const std::vector<double>& pre, int pid,
+                         trace::SpanKind kind, std::uint32_t seq,
+                         bool with_work);
   /// Charges the per-node NIC serialization of this routing round (see
   /// MachineProfile::nic_overhead).
   void apply_nic_serialization(int phase, std::uint64_t hint);
@@ -304,6 +325,17 @@ class Runtime {
   bool in_superstep_ = false;
   int current_phase_for_comm_ = -1;
   std::uint64_t congestion_hint_ = 0;  // one-shot; 0 = use staged count
+
+  // Tracing state (inert when tracer_ == nullptr; the hot paths pay one
+  // branch). Scratch buffers are reused so steady-state recording does not
+  // allocate per superstep.
+  trace::TraceRecorder* tracer_ = nullptr;
+  std::vector<double> trace_pre_, trace_mid_;       // clock snapshots
+  std::vector<std::array<double, kNumWorkKinds>> trace_work_;  // per rank
+  std::vector<int> trace_phase_ids_;  // runtime pid -> recorder phase id
+  std::array<int, kNumWorkKinds> trace_work_keys_{};
+  bool trace_work_keys_ready_ = false;
+  std::uint32_t trace_seq_ = 0;  // seq of the superstep in flight
 };
 
 }  // namespace dsmcpic::par

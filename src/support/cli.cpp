@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <memory>
@@ -111,6 +112,15 @@ bool Cli::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      // "-x" style tokens are almost always mistyped flags; treating them
+      // as positionals made them silently ignored. Negative numbers stay
+      // positional.
+      DSMCPIC_CHECK_MSG(
+          arg.size() < 2 || arg[0] != '-' ||
+              (std::isdigit(static_cast<unsigned char>(arg[1])) ||
+               arg[1] == '.'),
+          "unknown flag " << arg << " (flags are spelled --name)\n"
+                          << help_text());
       positional_.push_back(std::move(arg));
       continue;
     }

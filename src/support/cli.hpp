@@ -2,8 +2,9 @@
 // Minimal command-line flag parser used by the examples and bench binaries.
 //
 // Supports `--name value`, `--name=value` and boolean `--name`. Unknown
-// flags raise an error listing the registered options, so every binary is
-// self-documenting via --help.
+// flags — including mistyped single-dash tokens like `-steps` — raise an
+// error listing the registered options, so every binary is self-documenting
+// via --help. Negative numbers are still accepted as positionals.
 
 #include <cstdint>
 #include <functional>

@@ -1,0 +1,200 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "support/error.hpp"
+#include "trace/chrome_writer.hpp"
+#include "trace/recorder.hpp"
+
+namespace dsmcpic::trace {
+
+namespace {
+
+// Internal walk segment: busy spans plus per-sync derived wait/cost slices.
+struct Seg {
+  double t0 = 0.0, t1 = 0.0;
+  int phase = -1;
+  SpanKind kind = SpanKind::kCompute;
+  int sync = -1;  // index into recorder syncs for kWait
+  std::uint32_t seq = 0;
+};
+
+}  // namespace
+
+CriticalPathResult CriticalPathAnalyzer::analyze() const {
+  const int n = rec_.nranks();
+  const std::size_t nphases = rec_.phase_names().size();
+  CriticalPathResult res;
+  res.compute_by_phase.assign(nphases, 0.0);
+  res.comm_by_phase.assign(nphases, 0.0);
+  res.path_by_rank.assign(n, 0.0);
+  res.wait_by_rank.assign(n, 0.0);
+  res.wait_by_phase.assign(nphases, 0.0);
+
+  // ---- per-rank segment timelines ---------------------------------------
+  std::vector<std::vector<Seg>> segs(n);
+  for (const Span& s : rec_.spans())
+    if (s.t1 > s.t0)
+      segs[s.rank].push_back(Seg{s.t0, s.t1, s.phase, s.kind, -1, s.seq});
+  const auto& syncs = rec_.syncs();
+  for (std::size_t i = 0; i < syncs.size(); ++i) {
+    const SyncRec& s = syncs[i];
+    for (int r = 0; r < n; ++r) {
+      const double wait = s.t_max - s.arrive[r];
+      if (wait > 0.0) {
+        segs[r].push_back(Seg{s.arrive[r], s.t_max, s.phase, SpanKind::kWait,
+                              static_cast<int>(i), s.seq});
+        res.wait_by_rank[r] += wait;
+        res.wait_by_phase[s.phase] += wait;
+        res.total_wait += wait;
+      }
+      if (s.t_end > s.t_max)
+        segs[r].push_back(
+            Seg{s.t_max, s.t_end, s.phase, SpanKind::kSync, -1, s.seq});
+    }
+  }
+  for (auto& v : segs)
+    std::sort(v.begin(), v.end(), [](const Seg& a, const Seg& b) {
+      return a.t1 != b.t1 ? a.t1 < b.t1 : a.seq < b.seq;
+    });
+
+  // ---- start at the rank bounding end-to-end time -----------------------
+  double end_time = 0.0;
+  int cur_rank = -1;
+  for (int r = 0; r < n; ++r) {
+    if (segs[r].empty()) continue;
+    const double t = segs[r].back().t1;
+    if (t > end_time) {
+      end_time = t;
+      cur_rank = r;
+    }
+  }
+  res.end_time = end_time;
+  if (cur_rank < 0) return res;  // empty trace
+  const double eps = 1e-9 * std::max(1.0, end_time);
+
+  // ---- backward walk ----------------------------------------------------
+  // Per-rank cursors move monotonically backward, so every segment is
+  // visited at most once and the walk always terminates.
+  std::vector<int> hi(n);
+  for (int r = 0; r < n; ++r) hi[r] = static_cast<int>(segs[r].size()) - 1;
+
+  std::vector<PathSegment> rev;
+  double cur_t = end_time;
+  while (cur_t > eps) {
+    std::vector<Seg>& v = segs[cur_rank];
+    int& h = hi[cur_rank];
+    while (h >= 0 && v[h].t1 > cur_t + eps) --h;
+    if (h < 0) {
+      // Clock start reached with time left over: charges from before the
+      // recorder was attached (e.g. constructor-time Init). Keep the
+      // identity compute + comm + untracked == end_time honest.
+      rev.push_back(PathSegment{cur_rank, -1, SpanKind::kWait, 0.0, cur_t});
+      res.untracked += cur_t;
+      break;
+    }
+    const Seg seg = v[h];
+    if (seg.t1 < cur_t - eps) {
+      // Gap the recorder did not cover (e.g. tracing attached mid-run).
+      rev.push_back(PathSegment{cur_rank, -1, SpanKind::kWait, seg.t1, cur_t});
+      res.untracked += cur_t - seg.t1;
+      cur_t = seg.t1;
+    }
+    if (seg.kind == SpanKind::kWait) {
+      // The chain leaves this rank: it was idle until `argmax_rank`
+      // arrived, so the bounding work lives there.
+      --h;
+      const SyncRec& s = syncs[seg.sync];
+      cur_rank = s.argmax_rank;
+      cur_t = std::min(cur_t, s.t_max);
+      continue;
+    }
+    rev.push_back(PathSegment{cur_rank, seg.phase, seg.kind, seg.t0,
+                              std::min(seg.t1, cur_t)});
+    cur_t = seg.t0;
+    --h;
+  }
+
+  // ---- chronological chain with adjacent merge --------------------------
+  std::reverse(rev.begin(), rev.end());
+  for (const PathSegment& p : rev) {
+    if (!res.chain.empty()) {
+      PathSegment& b = res.chain.back();
+      if (b.rank == p.rank && b.phase == p.phase && b.kind == p.kind &&
+          std::abs(b.t1 - p.t0) <= eps) {
+        b.t1 = p.t1;
+        continue;
+      }
+    }
+    res.chain.push_back(p);
+  }
+
+  for (const PathSegment& p : res.chain) {
+    const double d = p.duration();
+    if (p.phase < 0) continue;  // untracked
+    res.path_by_rank[p.rank] += d;
+    if (p.kind == SpanKind::kCompute) {
+      res.compute_by_phase[p.phase] += d;
+      res.path_compute += d;
+      res.compute_by_rank_phase[{p.rank, p.phase}] += d;
+    } else {
+      res.comm_by_phase[p.phase] += d;
+      res.path_comm += d;
+    }
+  }
+  return res;
+}
+
+std::vector<double> CriticalPathAnalyzer::wait_in_window(double t_begin,
+                                                         double t_end) const {
+  std::vector<double> out(rec_.nranks(), 0.0);
+  for (const SyncRec& s : rec_.syncs()) {
+    if (s.t_max < t_begin || s.t_max >= t_end) continue;
+    for (int r = 0; r < rec_.nranks(); ++r)
+      out[r] += std::max(0.0, s.t_max - s.arrive[r]);
+  }
+  return out;
+}
+
+void CriticalPathAnalyzer::print(const CriticalPathResult& r,
+                                 std::ostream& os) const {
+  os << "Critical path: " << format_double(r.end_time)
+     << " virtual s end-to-end, " << r.chain.size() << " chain segments ("
+     << format_double(r.path_compute) << " s compute, "
+     << format_double(r.path_comm) << " s comm";
+  if (r.untracked > 0.0) os << ", " << format_double(r.untracked) << " s untracked";
+  os << ")\n";
+
+  os << "\n  phase attribution on the path (virtual s):\n";
+  os << "    phase             compute       comm\n";
+  for (std::size_t p = 0; p < rec_.phase_names().size(); ++p) {
+    const double c = r.compute_by_phase[p], m = r.comm_by_phase[p];
+    if (c <= 0.0 && m <= 0.0) continue;
+    os << "    " << rec_.phase_names()[p];
+    for (std::size_t pad = rec_.phase_names()[p].size(); pad < 16; ++pad)
+      os << ' ';
+    os << "  " << format_double(c) << "  " << format_double(m) << "\n";
+  }
+
+  os << "\n  path / wait time by rank (virtual s):\n";
+  os << "    rank   on-path       wait\n";
+  for (int rank = 0; rank < rec_.nranks(); ++rank) {
+    if (r.path_by_rank[rank] <= 0.0 && r.wait_by_rank[rank] <= 0.0) continue;
+    os << "    " << rank << "      " << format_double(r.path_by_rank[rank])
+       << "  " << format_double(r.wait_by_rank[rank]) << "\n";
+  }
+
+  // The dominant (rank, phase) compute contribution — the straggler.
+  const std::pair<const std::pair<int, int>, double>* top = nullptr;
+  for (const auto& kv : r.compute_by_rank_phase)
+    if (!top || kv.second > top->second) top = &kv;
+  if (top) {
+    os << "\n  dominant compute on the path: rank " << top->first.first
+       << " in " << rec_.phase_names()[top->first.second] << " ("
+       << format_double(top->second) << " s)\n";
+  }
+}
+
+}  // namespace dsmcpic::trace

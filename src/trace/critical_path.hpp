@@ -1,0 +1,79 @@
+#pragma once
+// Offline critical-path analysis over a recorded trace (DESIGN.md §2e).
+//
+// The trace is a DAG: per-rank chains of busy segments (compute spans,
+// routing rounds, collective costs), wait edges at synchronizing
+// collectives (every straggler depends on the slowest rank), and message
+// edges for routed point-to-point traffic. In the virtual machine the
+// *binding* cross-rank dependencies are the sync alignments — a rank's
+// clock only moves through its own charges and through alignment to the
+// round maximum — so the analyzer walks backward from the rank that bounds
+// end-to-end virtual time, following each wait edge to the rank that was
+// waited for. The result is the chain of (rank, phase) segments that a
+// perfect optimizer of everything *off* the chain could not shorten: the
+// answer to "why did this configuration win".
+//
+// Wait time itself never lies on the chain (the gating rank does not
+// wait); it is reported as per-rank / per-phase aggregates instead, which
+// is the paper's per-rank wait-time view (Figs. 5, 9).
+
+#include <iosfwd>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace dsmcpic::trace {
+
+class TraceRecorder;
+
+/// One chain link, chronological. phase == -1 marks untracked time (clock
+/// movement the recorder did not see; should be ~0).
+struct PathSegment {
+  int rank = -1;
+  int phase = -1;
+  SpanKind kind = SpanKind::kCompute;
+  double t0 = 0.0, t1 = 0.0;
+
+  double duration() const { return t1 - t0; }
+};
+
+struct CriticalPathResult {
+  double end_time = 0.0;            // end-to-end virtual time
+  std::vector<PathSegment> chain;   // chronological, adjacent-merged
+
+  // Attribution of the chain, indexed by recorder phase id.
+  std::vector<double> compute_by_phase;
+  std::vector<double> comm_by_phase;  // routing + collective cost
+  std::vector<double> path_by_rank;   // chain seconds spent on each rank
+  std::map<std::pair<int, int>, double> compute_by_rank_phase;  // (rank,phase)
+  double path_compute = 0.0;
+  double path_comm = 0.0;
+  double untracked = 0.0;
+
+  // Aggregate wait statistics over ALL ranks (off-chain symptom view).
+  std::vector<double> wait_by_rank;
+  std::vector<double> wait_by_phase;
+  double total_wait = 0.0;
+};
+
+class CriticalPathAnalyzer {
+ public:
+  explicit CriticalPathAnalyzer(const TraceRecorder& rec) : rec_(rec) {}
+
+  CriticalPathResult analyze() const;
+
+  /// Per-rank wait seconds from syncs whose aligned time falls in
+  /// [t_begin, t_end) — e.g. to compare before/after a rebalance instant.
+  std::vector<double> wait_in_window(double t_begin, double t_end) const;
+
+  /// Human-readable report (phase attribution table, per-rank path and
+  /// wait shares, top chain segments).
+  void print(const CriticalPathResult& r, std::ostream& os) const;
+
+ private:
+  const TraceRecorder& rec_;
+};
+
+}  // namespace dsmcpic::trace

@@ -1,0 +1,36 @@
+#include "trace/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+#include "trace/chrome_writer.hpp"
+
+namespace dsmcpic::trace {
+
+int MetricsRegistry::intern(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t step, int rank,
+                          double value, double t) {
+  samples_.push_back(CounterSample{intern(name), step, rank, value, t});
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "step,counter,rank,value,virtual_time\n";
+  for (const CounterSample& s : samples_) {
+    os << s.step << "," << names_[s.key] << "," << s.rank << ","
+       << format_double(s.value) << "," << format_double(s.t) << "\n";
+  }
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot open " << path);
+  write_csv(os);
+}
+
+}  // namespace dsmcpic::trace

@@ -1,0 +1,49 @@
+#pragma once
+// Lightweight counter/metrics registry of the tracing subsystem: per-step
+// scalar samples (particles owned, cells owned, bytes migrated, the load
+// imbalance indicator, ...) keyed by an interned counter name and an
+// optional rank (-1 = global). Samples carry both the DSMC step and the
+// virtual time at which they were taken, so they can be plotted against
+// either axis. Exported as CSV (write_csv) and as Chrome counter tracks
+// (chrome_writer).
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsmcpic::trace {
+
+struct CounterSample {
+  int key = -1;             // interned counter name
+  std::int64_t step = 0;    // DSMC step index
+  int rank = -1;            // -1 = global
+  double value = 0.0;
+  double t = 0.0;           // virtual seconds when sampled
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the id for `name`, registering it on first use.
+  int intern(const std::string& name);
+
+  void add(const std::string& name, std::int64_t step, int rank, double value,
+           double t);
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<CounterSample>& samples() const { return samples_; }
+  const std::string& name_of(int key) const { return names_.at(key); }
+
+  /// step,counter,rank,value,virtual_time — one row per sample, in
+  /// recording order.
+  void write_csv(std::ostream& os) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> names_;
+  std::vector<CounterSample> samples_;
+};
+
+}  // namespace dsmcpic::trace

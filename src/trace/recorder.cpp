@@ -1,0 +1,68 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::trace {
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kComm: return "comm";
+    case SpanKind::kWait: return "wait";
+    case SpanKind::kSync: return "sync";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(int nranks) : nranks_(nranks) {
+  DSMCPIC_CHECK_MSG(nranks >= 1, "recorder needs at least one rank");
+}
+
+namespace {
+int intern_into(std::map<std::string, int>& ids, std::vector<std::string>& names,
+                const std::string& name) {
+  auto [it, inserted] = ids.try_emplace(name, static_cast<int>(names.size()));
+  if (inserted) names.push_back(name);
+  return it->second;
+}
+}  // namespace
+
+int TraceRecorder::intern_phase(const std::string& name) {
+  return intern_into(phase_ids_, phase_names_, name);
+}
+
+int TraceRecorder::intern_key(const std::string& name) {
+  return intern_into(key_ids_, key_names_, name);
+}
+
+void TraceRecorder::add_span(Span s) {
+  DSMCPIC_CHECK(s.rank >= 0 && s.rank < nranks_);
+  DSMCPIC_CHECK(s.phase >= 0 &&
+                s.phase < static_cast<int>(phase_names_.size()));
+  end_time_ = std::max(end_time_, s.t1);
+  spans_.push_back(std::move(s));
+}
+
+void TraceRecorder::add_message(MessageRec m) {
+  DSMCPIC_CHECK(m.src >= 0 && m.src < nranks_ && m.dst >= 0 &&
+                m.dst < nranks_);
+  end_time_ = std::max({end_time_, m.send_end, m.recv_end});
+  messages_.push_back(std::move(m));
+}
+
+void TraceRecorder::add_sync(SyncRec s) {
+  DSMCPIC_CHECK(static_cast<int>(s.arrive.size()) == nranks_);
+  DSMCPIC_CHECK(s.argmax_rank >= 0 && s.argmax_rank < nranks_);
+  end_time_ = std::max(end_time_, s.t_end);
+  syncs_.push_back(std::move(s));
+}
+
+void TraceRecorder::add_instant(int rank, std::string name, double t) {
+  DSMCPIC_CHECK(rank >= -1 && rank < nranks_);
+  end_time_ = std::max(end_time_, t);
+  instants_.push_back(Instant{rank, t, std::move(name)});
+}
+
+}  // namespace dsmcpic::trace

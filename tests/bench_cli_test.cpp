@@ -1,0 +1,69 @@
+// CLI behaviour of the bench binaries (bench/common): unknown flags and
+// stray positionals must exit with usage instead of being silently
+// ignored, and the common flags (including --trace) must land in
+// BenchOptions.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "support/cli.hpp"
+
+namespace dsmcpic {
+namespace {
+
+TEST(BenchCli, UnknownFlagExitsWithUsage) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "4", 3);
+  const char* argv[] = {"prog", "--bogus", "7"};
+  EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
+              testing::ExitedWithCode(2), "unknown flag --bogus");
+}
+
+TEST(BenchCli, MistypedSingleDashFlagExits) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "4", 3);
+  const char* argv[] = {"prog", "-steps", "3"};
+  EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
+              testing::ExitedWithCode(2), "unknown flag -steps");
+}
+
+TEST(BenchCli, StrayPositionalExits) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "4", 3);
+  const char* argv[] = {"prog", "--steps", "3", "leftover"};
+  EXPECT_EXIT(bench::parse_or_usage(cli, 4, argv),
+              testing::ExitedWithCode(2), "unexpected argument 'leftover'");
+}
+
+TEST(BenchCli, HelpReturnsFalse) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "4", 3);
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(bench::parse_or_usage(cli, 2, argv));
+}
+
+TEST(BenchCli, CommonFlagsReachBenchOptions) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "4", 3);
+  const char* argv[] = {"prog",           "--ranks",  "2,8",
+                        "--steps",        "5",        "--trace",
+                        "/tmp/out.json",  "--exec-mode", "threaded",
+                        "--kernel-threads", "4"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 11, argv));
+  const bench::BenchOptions o = flags.finish();
+  EXPECT_EQ(o.ranks, (std::vector<int>{2, 8}));
+  EXPECT_EQ(o.steps, 5);
+  EXPECT_EQ(o.trace_path, "/tmp/out.json");
+  EXPECT_EQ(o.exec_mode, par::ExecMode::kThreaded);
+  EXPECT_EQ(o.kernel_threads, 4);
+}
+
+TEST(BenchCli, TraceCasePathInsertsBeforeExtension) {
+  EXPECT_EQ(bench::trace_case_path("out.json", 0), "out.json");
+  EXPECT_EQ(bench::trace_case_path("out.json", 1), "out.case1.json");
+  EXPECT_EQ(bench::trace_case_path("dir.v2/out", 2), "dir.v2/out.case2");
+  EXPECT_EQ(bench::trace_case_path("noext", 3), "noext.case3");
+}
+
+}  // namespace
+}  // namespace dsmcpic

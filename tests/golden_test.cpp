@@ -12,6 +12,7 @@
 
 #include "core/datasets.hpp"
 #include "core/solver.hpp"
+#include "trace/recorder.hpp"
 
 namespace dsmcpic::core {
 namespace {
@@ -42,7 +43,7 @@ SolverConfig tiny_config() {
 }
 
 std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
-                         int kernel_threads = 1) {
+                         int kernel_threads = 1, bool traced = false) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
@@ -50,6 +51,8 @@ std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
   par.balance.period = 3;
   par.kernel_threads = kernel_threads;
   CoupledSolver solver(tiny_config(), par);
+  trace::TraceRecorder rec(par.nranks);
+  if (traced) solver.runtime().set_tracer(&rec);
   solver.run(8);
 
   Fnv1a d;
@@ -109,6 +112,16 @@ TEST(Golden, CentralizedNoRebalance) {
 TEST(Golden, KernelThreadsFourMatchesSerialGolden) {
   const std::uint64_t got = run_digest(exchange::Strategy::kDistributed,
                                        /*balance=*/true, /*kernel_threads=*/4);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// Tracing (DESIGN.md §2e) claims pure observation: a trace-enabled run
+// must hit the SAME golden value as the untraced run.
+TEST(Golden, TraceEnabledMatchesSerialGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/true);
   EXPECT_EQ(got, kGoldenDcBalanced)
       << "new digest: 0x" << std::hex << got << "ULL";
 }

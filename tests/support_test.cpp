@@ -121,6 +121,29 @@ TEST(Cli, RejectsUnknownAndMalformed) {
   EXPECT_THROW(cli2.parse(3, bad2), Error);
 }
 
+// Mistyped single-dash flags used to fall through as positionals and were
+// silently ignored; they must error now. "-h" and negative numbers keep
+// their meaning.
+TEST(Cli, SingleDashTokensAreErrorsNotPositionals) {
+  Cli cli("test");
+  cli.add_int("steps", 1, "");
+  const char* bad[] = {"prog", "-steps", "3"};
+  EXPECT_THROW(cli.parse(3, bad), Error);
+
+  Cli cli2("test");
+  cli2.add_int("steps", 1, "");
+  const char* neg[] = {"prog", "-3", "-.5", "-"};
+  ASSERT_TRUE(cli2.parse(4, neg));
+  ASSERT_EQ(cli2.positional().size(), 3u);
+  EXPECT_EQ(cli2.positional()[0], "-3");
+  EXPECT_EQ(cli2.positional()[1], "-.5");
+  EXPECT_EQ(cli2.positional()[2], "-");
+
+  Cli cli3("test");
+  const char* help[] = {"prog", "-h"};
+  EXPECT_FALSE(cli3.parse(2, help));
+}
+
 TEST(Table, AlignsColumns) {
   Table t("demo");
   t.header({"a", "bbbb"});
