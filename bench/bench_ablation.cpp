@@ -150,7 +150,7 @@ void precon_ablation() {
 int main(int argc, char** argv) {
   Cli cli("Design-choice ablations: exchange strategies, k-way refinement, "
           "Poisson preconditioning");
-  bench::CommonFlags common(cli, "24,96,384", 30);
+  bench::CommonFlags common(cli, "bench_ablation", "24,96,384", 30);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "balance/hungarian.hpp"
+#include "obs/run_report.hpp"
 #include "exchange/exchange.hpp"
 #include "par/machine.hpp"
 #include "par/runtime.hpp"
@@ -136,4 +141,35 @@ BENCHMARK(BM_CommModelCheck)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so this binary honours the fleet-wide
+// `--report <path>` convention (one run_report.json per bench binary):
+// the flag is stripped before google-benchmark sees argv, since its own
+// parser rejects unknown flags.
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  args.push_back(nullptr);
+  int bargc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!report_path.empty()) {
+    dsmcpic::obs::RunReport rep;
+    rep.config.bench = "bench_comm_model";
+    rep.config.case_name = "google-benchmark microbench suite";
+    rep.config.machine = "host";
+    rep.config.audit_severity = "off";
+    dsmcpic::obs::write_run_report_file(report_path, rep);
+    std::fprintf(stderr, "run report: %s\n", report_path.c_str());
+  }
+  return 0;
+}

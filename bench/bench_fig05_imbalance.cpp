@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   Cli cli(
       "Fig. 5 — per-rank particle share over 200 PIC steps without load "
       "balance (4 ranks, Dataset 2 analogue)");
-  bench::CommonFlags common(cli, "4", 100);
+  bench::CommonFlags common(cli, "bench_fig05_imbalance", "4", 100);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
   const int nranks = opt.ranks.front();

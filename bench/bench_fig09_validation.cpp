@@ -46,7 +46,7 @@ ProfileSeries run_profiles(const core::Dataset& ds, int nranks,
 
 int main(int argc, char** argv) {
   Cli cli("Fig. 8/9 — serial vs parallel validation on Dataset 1");
-  bench::CommonFlags common(cli, "4", 80);
+  bench::CommonFlags common(cli, "bench_fig09_validation", "4", 80);
   const auto* npoints = cli.add_int("points", 12, "axis sample points");
   const auto* repeats = cli.add_int("repeats", 3, "repeated runs for RSD");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;

@@ -16,7 +16,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Fig. 11 — DC vs CC total and exchange costs on BSCC, Dataset 3 "
           "analogue (few particles)");
-  bench::CommonFlags common(cli, "24,48,96,192,384,768", 40);
+  bench::CommonFlags common(cli, "bench_fig11_comm_crossover", "24,48,96,192,384,768", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   BenchOptions opt = common.finish();
   opt.machine = "bscc";  // the paper runs this experiment on BSCC

@@ -16,7 +16,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Fig. 12 — impact of the rebalance period T (DC+LB, Dataset 2 "
           "analogue, Tianhe-2 profile)");
-  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  bench::CommonFlags common(cli, "bench_fig12_T_sweep", "24,48,96,192,384", 40);
   const auto* t_list = cli.add_string("T", "5,10,20", "T values to sweep");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();

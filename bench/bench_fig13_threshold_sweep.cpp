@@ -14,7 +14,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Fig. 13 — impact of the lii Threshold (DC+LB, Dataset 2 "
           "analogue, Tianhe-2 profile)");
-  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  bench::CommonFlags common(cli, "bench_fig13_threshold_sweep", "24,48,96,192,384", 40);
   const auto* th_list =
       cli.add_string("thresholds", "1.5,2.0,3.0", "threshold values");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;

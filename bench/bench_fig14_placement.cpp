@@ -15,7 +15,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Fig. 14 — MPI rank placement impact (Dataset 2 analogue, "
           "Tianhe-2 profile, <= 96 ranks)");
-  bench::CommonFlags common(cli, "24,48,96", 40);
+  bench::CommonFlags common(cli, "bench_fig14_placement", "24,48,96", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

@@ -15,7 +15,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Fig. 15 — portability across Tianhe-2 (x86) and Tianhe-3 (ARM) "
           "profiles, Datasets 2/4/5/6");
-  bench::CommonFlags common(cli, "24,96,384", 30);
+  bench::CommonFlags common(cli, "bench_fig15_portability", "24,96,384", 30);
   const auto* ds_list = cli.add_string("datasets", "2,4,5,6", "dataset ids");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions base_opt = common.finish();

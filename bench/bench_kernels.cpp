@@ -13,11 +13,14 @@
 #include <chrono>
 #include <cstdio>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "dsmc/collide.hpp"
+#include "obs/host_profiler.hpp"
+#include "obs/run_report.hpp"
 #include "dsmc/mover.hpp"
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
@@ -124,6 +127,10 @@ int main(int argc, char** argv) {
   const auto* reps = cli.add_int("reps", 5, "timed repetitions (best-of)");
   const auto* out =
       cli.add_string("out", "BENCH_kernels.json", "output JSON path");
+  const auto* report = cli.add_string(
+      "report", "",
+      "also write a run_report.json (host-profile section carries the "
+      "per-lane kernel timings)");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
 
   const int nreps = static_cast<int>(*reps);
@@ -263,6 +270,30 @@ int main(int argc, char** argv) {
   emit(f, "deposit", deposit_t, false);
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
+
+  if (!report->empty()) {
+    obs::HostProfiler prof;
+    struct { const char* kernel; KernelTimes* t; } rows[] = {
+        {"move", &move_t}, {"collide", &collide_t}, {"deposit", &deposit_t}};
+    for (const auto& row : rows) {
+      for (int i = 0; i < 4; ++i)
+        prof.record(std::string(row.kernel) + "/" + lanes[i].name,
+                    slot(*row.t, i));
+    }
+    obs::RunReport rep;
+    rep.config.bench = "bench_kernels";
+    std::ostringstream cs;
+    cs << "radial=" << *radial << " axial=" << *axial
+       << " particles=" << *nparticles << " reps=" << nreps;
+    rep.config.case_name = cs.str();
+    rep.config.ranks = 1;
+    rep.config.machine = "host";
+    rep.config.kernel_threads = 4;
+    rep.config.audit_severity = "off";
+    rep.profiler = &prof;
+    obs::write_run_report_file(*report, rep);
+    std::printf("run report: %s\n", report->c_str());
+  }
 
   std::printf("\nmove speedup kt4 vs serial baseline: %.2fx  -> %s\n",
               move_t.serial_recompute / move_t.kt4, out->c_str());

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   Cli cli(
       "Table II / Fig. 10 — strong scaling of DC/CC x LB/no-LB (Dataset 2 "
       "analogue, Tianhe-2 profile)");
-  bench::CommonFlags common(cli, "24,48,96,192,384,768,1536", 40);
+  bench::CommonFlags common(cli, "bench_tab02_strong_scaling", "24,48,96,192,384,768,1536", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

@@ -13,7 +13,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Table III — DSMC_Move / PIC_Move times with vs without LB "
           "(Dataset 2 analogue, DC strategy, Tianhe-2 profile)");
-  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  bench::CommonFlags common(cli, "bench_tab03_move_times", "24,48,96,192,384", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

@@ -15,7 +15,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Table IV — phase breakdown for DC + LB (Dataset 2 analogue, "
           "Tianhe-2 profile)");
-  bench::CommonFlags common(cli, "24,48,96,192,384,768,1536", 40);
+  bench::CommonFlags common(cli, "bench_tab04_breakdown", "24,48,96,192,384,768,1536", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

@@ -15,7 +15,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Table V — load-balancing overhead with vs without the KM "
           "remapping (Dataset 2 analogue)");
-  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  bench::CommonFlags common(cli, "bench_tab05_km_overhead", "24,48,96,192,384", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
 

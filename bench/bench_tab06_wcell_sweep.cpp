@@ -15,7 +15,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   Cli cli("Table VI — impact of W_cell in the weighted load model (DC+LB, "
           "Dataset 2 analogue)");
-  bench::CommonFlags common(cli, "24,48,96,192,384", 40);
+  bench::CommonFlags common(cli, "bench_tab06_wcell_sweep", "24,48,96,192,384", 40);
   const auto* w_list =
       cli.add_string("wcell", "1,10,100,1000,10000", "W_cell values");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;

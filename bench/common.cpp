@@ -5,6 +5,9 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/health_auditor.hpp"
+#include "obs/host_profiler.hpp"
+#include "obs/run_report.hpp"
 #include "support/error.hpp"
 #include "trace/chrome_writer.hpp"
 #include "trace/critical_path.hpp"
@@ -21,8 +24,9 @@ par::MachineProfile BenchOptions::profile() const {
   return par::MachineProfile::tianhe2();
 }
 
-CommonFlags::CommonFlags(Cli& cli, const std::string& default_ranks,
-                         int default_steps) {
+CommonFlags::CommonFlags(Cli& cli, std::string bench_name,
+                         const std::string& default_ranks, int default_steps)
+    : bench_name_(std::move(bench_name)) {
   ranks_ = cli.add_string("ranks", default_ranks,
                           "comma-separated virtual rank counts to sweep");
   steps_ = cli.add_int("steps", default_steps, "DSMC steps per run");
@@ -43,6 +47,14 @@ CommonFlags::CommonFlags(Cli& cli, const std::string& default_ranks,
       "trace", "",
       "write a Chrome/Perfetto trace JSON of each case to this path "
       "(plus .metrics.csv and a critical-path report on stderr)");
+  report_ = cli.add_string(
+      "report", "",
+      "write a machine-readable run_report.json of each case to this path "
+      "(case N > 0 gets .caseN inserted; includes host-profiler timings)");
+  audit_ = cli.add_string(
+      "audit", "off",
+      "per-step health audits: off | warn | abort | count "
+      "(never perturbs results)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -56,6 +68,10 @@ BenchOptions CommonFlags::finish() const {
   o.exec_threads = static_cast<int>(*threads_);
   o.kernel_threads = static_cast<int>(*kernel_threads_);
   o.trace_path = *trace_;
+  o.bench_name = bench_name_;
+  o.report_path = *report_;
+  o.audit = *audit_;
+  if (o.audit != "off") obs::parse_audit_severity(o.audit);  // validate early
   return o;
 }
 
@@ -122,11 +138,29 @@ std::string trace_case_path(const std::string& base, int index) {
 
 CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
                     const BenchOptions& opt) {
+  // One output file per case: the process-wide counter disambiguates the
+  // multiple run_case() calls a bench makes (sweep points, LB on/off).
+  // Shared by --trace and --report so their .caseN suffixes line up.
+  static int case_counter = 0;
+  const int case_index = case_counter++;
+
   core::SolverConfig cfg = ds.config;
   cfg.seed = opt.seed;
   cfg.poisson.rel_tol = 1e-5;  // KSP-like default tolerance
   cfg.poisson.max_iterations = 200;
+
+  // Observers outlive the solver (declared first), so dangling detach on
+  // scope exit is impossible.
+  std::unique_ptr<obs::HealthAuditor> auditor;
+  if (opt.audit != "off")
+    auditor = std::make_unique<obs::HealthAuditor>(
+        obs::AuditConfig{obs::parse_audit_severity(opt.audit)});
+  std::unique_ptr<obs::HostProfiler> prof;
+  if (!opt.report_path.empty()) prof = std::make_unique<obs::HostProfiler>();
+
   core::CoupledSolver solver(cfg, par);
+  solver.set_auditor(auditor.get());
+  solver.set_host_profiler(prof.get());
 
   std::unique_ptr<trace::TraceRecorder> rec;
   if (!opt.trace_path.empty()) {
@@ -138,10 +172,7 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
 
   if (rec) {
     solver.runtime().set_tracer(nullptr);
-    // One trace file per case: the process-wide counter disambiguates the
-    // multiple run_case() calls a bench makes (sweep points, LB on/off).
-    static int trace_case = 0;
-    const std::string path = trace_case_path(opt.trace_path, trace_case++);
+    const std::string path = trace_case_path(opt.trace_path, case_index);
     trace::write_chrome_trace(*rec, path);
     rec->metrics().write_csv(path + ".metrics.csv");
     std::fprintf(stderr, "trace: %s (+.metrics.csv), %zu spans, %zu messages\n",
@@ -156,6 +187,52 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
   r.summary = solver.summary();
   r.history = solver.history();
   r.total_time = r.summary.total_time;
+
+  if (auditor && auditor->report().violations() > 0)
+    std::fprintf(stderr, "audit: %lld violation(s) in %lld checks\n",
+                 static_cast<long long>(auditor->report().violations()),
+                 static_cast<long long>(auditor->report().checks()));
+
+  if (!opt.report_path.empty()) {
+    obs::RunReport rep;
+    rep.config.bench = opt.bench_name;
+    std::ostringstream cs;
+    cs << "ranks=" << par.nranks << " strategy="
+       << exchange::strategy_name(par.strategy) << " balance="
+       << (par.balance.enabled ? "on" : "off");
+    rep.config.case_name = cs.str();
+    rep.config.ranks = par.nranks;
+    rep.config.steps = opt.steps;
+    rep.config.machine = opt.machine;
+    rep.config.seed = opt.seed;
+    rep.config.exec_mode = par::exec_mode_name(par.exec_mode);
+    rep.config.exec_threads = par.exec_threads;
+    rep.config.kernel_threads = par.kernel_threads;
+    rep.config.strategy = exchange::strategy_name(par.strategy);
+    rep.config.balance = par.balance.enabled;
+    rep.config.audit_severity = opt.audit;
+    rep.total_virtual_time = r.summary.total_time;
+    for (std::size_t i = 0; i < r.summary.phase_names.size(); ++i) {
+      const par::PhaseStats& st = r.summary.phase_stats[i];
+      rep.phases.push_back({r.summary.phase_names[i], st.busy_max, st.busy_min,
+                            st.busy_sum, st.transactions, st.bytes});
+    }
+    rep.steps.final_particles = r.summary.final_particles;
+    for (const core::StepDiagnostics& d : r.history) {
+      rep.steps.injected += d.injected;
+      rep.steps.migrated_dsmc += d.migrated_dsmc;
+      rep.steps.migrated_pic += d.migrated_pic;
+      rep.steps.collisions += d.collisions;
+      rep.steps.ionizations += d.ionizations;
+      rep.steps.recombinations += d.recombinations;
+      rep.steps.rebalances += d.rebalanced ? 1 : 0;
+    }
+    rep.audit = auditor ? &auditor->report() : nullptr;
+    rep.profiler = prof.get();
+    const std::string rpath = trace_case_path(opt.report_path, case_index);
+    obs::write_run_report_file(rpath, rep);
+    std::fprintf(stderr, "run report: %s\n", rpath.c_str());
+  }
   return r;
 }
 

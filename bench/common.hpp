@@ -32,17 +32,30 @@ struct BenchOptions {
   // gets ".caseN" inserted before the extension. Recording never perturbs
   // virtual clocks or physics (DESIGN.md §2e).
   std::string trace_path;
+  // Bench binary name, stamped into run reports (set via CommonFlags).
+  std::string bench_name;
+  // When non-empty, every run_case() writes a machine-readable
+  // run_report.json (DESIGN.md §2f) to this path, with the same per-case
+  // ".caseN" suffix rule as trace_path. Also attaches a host wall-clock
+  // profiler whose kernel stats land in the report.
+  std::string report_path;
+  // Health audits: "off" or an obs::AuditSeverity name (warn|abort|count).
+  // Auditing never perturbs virtual clocks, physics or traces.
+  std::string audit = "off";
 
   par::MachineProfile profile() const;
 };
 
 /// Registers the common flags on `cli`; call `finish(cli)` after parse.
+/// `bench_name` is the bench binary's name, echoed into run reports.
 class CommonFlags {
  public:
-  CommonFlags(Cli& cli, const std::string& default_ranks, int default_steps);
+  CommonFlags(Cli& cli, std::string bench_name,
+              const std::string& default_ranks, int default_steps);
   BenchOptions finish() const;
 
  private:
+  std::string bench_name_;
   const std::string* ranks_;
   const std::int64_t* steps_;
   const double* particles_;
@@ -52,6 +65,8 @@ class CommonFlags {
   const std::int64_t* threads_;
   const std::int64_t* kernel_threads_;
   const std::string* trace_;
+  const std::string* report_;
+  const std::string* audit_;
 };
 
 /// Parses argv for a bench binary. Returns false when --help was printed.

@@ -4,6 +4,16 @@
 # leaves BENCH_kernels.json at the repo root.
 #
 #   scripts/bench_kernels.sh [build-dir] [extra bench_kernels flags...]
+#
+# The committed BENCH_kernels.json doubles as the perf-regression baseline.
+# To gate a change, write the fresh run somewhere else and compare:
+#
+#   build/bench/bench_kernels --out /tmp/fresh.json
+#   scripts/check_bench_regression.py /tmp/fresh.json        # exit 1 on >15% slowdown
+#   scripts/check_bench_regression.py /tmp/fresh.json --tolerance 0.25
+#
+# Re-run this script (which overwrites BENCH_kernels.json in place) only
+# when intentionally refreshing the baseline on the reference machine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the kernel microbenchmark.
+
+Compares a freshly generated bench_kernels JSON (scripts/bench_kernels.sh)
+against the committed baseline BENCH_kernels.json and fails — non-zero
+exit — when any kernel timing regressed by more than the tolerance
+(default 15%, i.e. fresh > baseline * 1.15). Speedups and small noise
+pass silently; the gate only fires on slowdowns.
+
+    scripts/check_bench_regression.py FRESH.json [--baseline BENCH_kernels.json]
+                                      [--tolerance 0.15]
+
+The two files must describe the same workload (mesh sizes and particle
+count); comparing different workloads is meaningless, so a mismatch exits
+with status 2 rather than pretending to pass or fail.
+
+Exit codes: 0 no regression, 1 regression detected, 2 bad input /
+workload mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_FIELDS = ["serial_recompute_ms", "serial_cached_ms", "kt2_ms", "kt4_ms"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_same_workload(baseline, fresh):
+    mismatches = []
+    for key in ("mesh", "particles"):
+        if baseline.get(key) != fresh.get(key):
+            mismatches.append(
+                f"  {key}: baseline {baseline.get(key)} vs fresh {fresh.get(key)}")
+    if mismatches:
+        print("error: baseline and fresh runs describe different workloads — "
+              "timings are not comparable:", file=sys.stderr)
+        print("\n".join(mismatches), file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail when kernel timings regressed vs the baseline")
+    ap.add_argument("fresh", help="freshly generated bench_kernels JSON")
+    ap.add_argument("--baseline", default="BENCH_kernels.json",
+                    help="committed baseline (default: BENCH_kernels.json)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative slowdown per timing "
+                         "(default: 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    check_same_workload(baseline, fresh)
+
+    base_kernels = baseline.get("kernels", {})
+    fresh_kernels = fresh.get("kernels", {})
+    missing = sorted(set(base_kernels) - set(fresh_kernels))
+    if missing:
+        print(f"error: fresh run is missing kernels {missing}", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    print(f"{'kernel':<10}{'timing':<22}{'baseline':>10}{'fresh':>10}{'ratio':>8}")
+    for kernel in sorted(base_kernels):
+        for field in TIMING_FIELDS:
+            base = base_kernels[kernel].get(field)
+            new = fresh_kernels[kernel].get(field)
+            if base is None or new is None:
+                continue
+            if base <= 0:
+                print(f"warning: baseline {kernel}.{field} is {base}; skipped",
+                      file=sys.stderr)
+                continue
+            ratio = new / base
+            flag = ""
+            if ratio > 1.0 + args.tolerance:
+                regressions.append((kernel, field, base, new, ratio))
+                flag = "  <-- REGRESSION"
+            print(f"{kernel:<10}{field:<22}{base:>10.3f}{new:>10.3f}"
+                  f"{ratio:>8.2f}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} timing(s) regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for kernel, field, base, new, ratio in regressions:
+            print(f"  {kernel}.{field}: {base:.3f} ms -> {new:.3f} ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        sys.exit(1)
+    print("\nno kernel regression beyond "
+          f"{args.tolerance:.0%} vs {args.baseline}.")
+
+
+if __name__ == "__main__":
+    main()

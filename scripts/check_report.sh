@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Shape-checks the machine-readable run reports end-to-end: runs a
+# report-enabled bench with audits on, validates that every emitted
+# run_report.json parses, matches the dsmcpic.run_report.v1 schema
+# (config echo, virtual-time phases, step totals, audit tallies, host
+# profile) and that a healthy run reports zero audit violations. Catches
+# writer regressions the unit tests on JsonWriter would miss.
+#
+#   scripts/check_report.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+cmake --build "$BUILD" --target bench_fig05_imbalance bench_kernels -j
+
+"$BUILD"/bench/bench_fig05_imbalance \
+  --ranks 4 --steps 3 --audit warn --report "$OUT/report.json" >/dev/null
+
+# bench_fig05 runs two cases (LB off / LB on) -> report.json + report.case1.json
+for f in "$OUT"/report.json "$OUT"/report.case1.json; do
+  [ -f "$f" ] || { echo "FAIL: $f was not written" >&2; exit 1; }
+  python3 - "$f" <<'EOF'
+import json, sys
+path = sys.argv[1]
+r = json.load(open(path))
+assert r["schema"] == "dsmcpic.run_report.v1", r["schema"]
+assert r["bench"] == "bench_fig05_imbalance"
+for key in ("ranks", "steps", "machine", "seed", "exec_mode",
+            "exec_threads", "kernel_threads", "strategy", "balance", "audit"):
+    assert key in r["config"], f"{path}: config.{key} missing"
+assert r["virtual_time"]["total_seconds"] > 0
+phases = {p["phase"] for p in r["virtual_time"]["phases"]}
+for want in ("Inject", "DSMC_Move", "DSMC_Exchange", "Poisson_Solve"):
+    assert want in phases, f"{path}: phase {want} missing from {sorted(phases)}"
+assert r["steps"]["final_particles"] > 0
+assert r["steps"]["injected"] > 0
+audit = r["audit"]
+assert audit["enabled"] is True
+assert audit["checks"] > 0, "audits on but no checks ran"
+assert audit["violations"] == 0, \
+    f"{path}: healthy run reported violations: {audit}"
+for inv in ("particle_books", "exchange_conservation", "charge_balance",
+            "poisson_residual", "ownership", "mailbox_drained"):
+    assert audit["by_invariant"][inv]["checks"] > 0, f"audit {inv} never ran"
+prof = r["host_profile"]
+assert prof["enabled"] is True and prof["sample_count"] > 0
+for kernel in ("move", "deposit", "field_solve", "exchange"):
+    stats = prof["kernels"][kernel]
+    assert stats["count"] > 0 and stats["total_ms"] >= 0
+    assert stats["min_ms"] <= stats["p50_ms"] <= stats["p95_ms"] <= stats["max_ms"]
+print(f"{path}: ok ({audit['checks']} audit checks, "
+      f"{prof['sample_count']} profile samples)")
+EOF
+done
+
+# bench_kernels emits a report too (host-profile only).
+"$BUILD"/bench/bench_kernels --particles 20000 --reps 1 \
+  --out "$OUT/kernels.json" --report "$OUT/kernels_report.json" >/dev/null
+python3 - "$OUT/kernels_report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "dsmcpic.run_report.v1"
+assert r["bench"] == "bench_kernels"
+assert r["audit"]["enabled"] is False
+kernels = r["host_profile"]["kernels"]
+for want in ("move/serial", "move/kt4", "collide/kt2", "deposit/serial_recompute"):
+    assert want in kernels, f"{want} missing from {sorted(kernels)}"
+print(f"{sys.argv[1]}: ok ({len(kernels)} kernel lanes)")
+EOF
+
+echo "run report check clean."

@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -33,5 +33,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # determinism suite runs trace-enabled solves over the threaded backend,
 # so a racy recorder hook would be flagged here.
 "$BUILD"/tests/trace_test
+# The health auditor and host profiler claim zero perturbation of the
+# deterministic state (DESIGN.md §2f); the audit-enabled determinism suite
+# runs audited+profiled solves over the threaded backend with kernel
+# threads, so a racy profiler scope or auditor hook would be flagged here.
+"$BUILD"/tests/obs_test
 
 echo "TSan sweep clean."

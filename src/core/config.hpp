@@ -17,6 +17,15 @@
 
 namespace dsmcpic::core {
 
+/// Test-only fault injection (tests/obs_test.cpp). The faults corrupt the
+/// run *mid-step* — after an exchange, inside a deposit — exactly where the
+/// health auditor's ledgers look, so end-to-end detection can be asserted:
+///  * kDropParticle: silently discards one particle per step right after
+///    DSMC_Exchange (a leak the particle-books invariant must flag);
+///  * kSkewDeposit: adds a spurious charge to one node after deposition
+///    (a scatter bug the charge-balance invariant must flag).
+enum class FaultInjection { kNone, kDropParticle, kSkewDeposit };
+
 /// Physics + numerics of one simulation case.
 struct SolverConfig {
   mesh::NozzleSpec nozzle;
@@ -47,6 +56,9 @@ struct SolverConfig {
   Vec3 magnetic_field{};            // constant B (paper: 0 or user constant)
 
   std::uint64_t seed = 42;
+
+  /// Deliberate corruption for auditor tests; kNone outside of tests.
+  FaultInjection fault = FaultInjection::kNone;
 
   double dt_pic() const { return dt_dsmc / pic_substeps; }
 

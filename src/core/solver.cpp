@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "obs/health_auditor.hpp"
+#include "obs/host_profiler.hpp"
 #include "pic/boris.hpp"
 #include "pic/deposit.hpp"
 #include "pic/field.hpp"
@@ -161,21 +163,52 @@ void CoupledSolver::do_inject(StepDiagnostics& diag) {
     injected[r] = n_h + n_hp;
   });
   for (const std::int64_t n : injected) diag.injected += n;
+  if (auditor_) auditor_->on_injected(diag.injected);
+}
+
+std::int64_t CoupledSolver::flagged_count() const {
+  std::int64_t n = 0;
+  for (const auto& flags : removed_)
+    for (const std::uint8_t f : flags) n += (f != 0);
+  return n;
 }
 
 void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
+  std::vector<std::int64_t> exited(pcfg_.nranks, 0);
   rt_->superstep(phases::kDsmcMove, [&](par::Comm& c) {
     const int r = c.rank();
+    const obs::HostProfiler::Scope prof(prof_, "move");
     const dsmc::MoveStats st = mover_->move_all(
         stores_[r], cfg_.dt_dsmc, step_, removed_[r],
         dsmc::MoveFilter::kNeutralOnly, kexec_.get());
     c.charge(par::WorkKind::kMove, static_cast<double>(st.moved));
     c.charge(par::WorkKind::kWalkStep, static_cast<double>(st.walk_steps));
+    exited[r] = st.exited;
   });
-  diag.migrated_dsmc =
-      exchange::exchange_particles(*rt_, phases::kDsmcExchange, pcfg_.strategy,
-                                   stores_, removed_, owner_)
-          .migrated;
+  for (const std::int64_t n : exited) diag.exited_dsmc += n;
+
+  if (auditor_) auditor_->on_flagged(flagged_count());
+  const std::int64_t before = auditor_ ? total_particles() : 0;
+  exchange::ExchangeStats ex;
+  {
+    const obs::HostProfiler::Scope prof(prof_, "exchange");
+    ex = exchange::exchange_particles(*rt_, phases::kDsmcExchange,
+                                      pcfg_.strategy, stores_, removed_,
+                                      owner_);
+  }
+  diag.migrated_dsmc = ex.migrated;
+  if (auditor_)
+    auditor_->check_exchange(phases::kDsmcExchange, before, ex.dropped,
+                             total_particles());
+
+  if (cfg_.fault == FaultInjection::kDropParticle) {
+    for (int r = 0; r < pcfg_.nranks; ++r) {
+      if (stores_[r].empty()) continue;
+      stores_[r].remove_swap(stores_[r].size() - 1);
+      removed_[r].resize(stores_[r].size());
+      break;
+    }
+  }
 }
 
 void CoupledSolver::do_reindex() {
@@ -202,13 +235,21 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
     const int r = c.rank();
     dsmc::CellIndex& index = cell_index_[r];
     index.rebuild(stores_[r], coarse_.num_tets());
-    const dsmc::CollisionStats cs = collide_->collide_cells(
-        stores_[r], index, my_cells_[r], cfg_.dt_dsmc, step_, kexec_.get(),
-        &collide_scratch_[r]);
+    dsmc::CollisionStats cs;
+    {
+      const obs::HostProfiler::Scope prof(prof_, "collide");
+      cs = collide_->collide_cells(stores_[r], index, my_cells_[r],
+                                   cfg_.dt_dsmc, step_, kexec_.get(),
+                                   &collide_scratch_[r]);
+    }
     removed_[r].resize(stores_[r].size(), 0);  // chemistry appended ions
-    const dsmc::ChemistryStats rs =
-        chemistry_->recombine(stores_[r], index, my_cells_[r], coarse_,
-                              cfg_.dt_dsmc, step_, removed_[r], kexec_.get());
+    dsmc::ChemistryStats rs;
+    {
+      const obs::HostProfiler::Scope prof(prof_, "react");
+      rs = chemistry_->recombine(stores_[r], index, my_cells_[r], coarse_,
+                                 cfg_.dt_dsmc, step_, removed_[r],
+                                 kexec_.get());
+    }
     c.charge(par::WorkKind::kCollide, static_cast<double>(cs.candidates));
     c.charge(par::WorkKind::kReact,
              static_cast<double>(cs.ionizations + rs.recombinations));
@@ -219,13 +260,18 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
     diag.ionizations += s.ionizations;
     diag.recombinations += s.recombinations;
   }
+  // Each ionization appended one H+ to a store; recombination flags are
+  // consumed by the next exchange (counted there via flagged_count).
+  if (auditor_) auditor_->on_spawned(diag.ionizations);
 }
 
 void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
   const double dt = cfg_.dt_pic();
   const int pic_step = step_ * cfg_.pic_substeps + substep;
+  std::vector<std::int64_t> exited(pcfg_.nranks, 0), lost(pcfg_.nranks, 0);
   rt_->superstep(phases::kPicMove, [&](par::Comm& c) {
     const int r = c.rank();
+    const obs::HostProfiler::Scope prof(prof_, "move");
     auto& store = stores_[r];
     auto pos = store.positions();
     auto vel = store.velocities();
@@ -237,6 +283,7 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
     // summed in chunk order.
     std::array<dsmc::MoveStats, 64> chunk_st{};
     std::array<std::int64_t, 64> chunk_pushed{};
+    std::array<std::int64_t, 64> chunk_lost{};
     const std::int64_t n = static_cast<std::int64_t>(store.size());
     kexec_->for_chunks(n, [&](int ch, std::int64_t begin, std::int64_t end) {
       for (std::int64_t i = begin; i < end; ++i) {
@@ -247,6 +294,7 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
         const std::int32_t fc = fine_->locate(cells[i], pos[i]);
         if (fc < 0) {
           removed_[r][i] = 1;
+          ++chunk_lost[ch];
           continue;
         }
         const Vec3 e = pic::efield_in_cell(*fine_, fc, nodex_->rank_nodes(r),
@@ -267,16 +315,32 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
       st.wall_hits += chunk_st[ch].wall_hits;
       st.exited += chunk_st[ch].exited;
       pushed += chunk_pushed[ch];
+      lost[r] += chunk_lost[ch];
     }
     c.charge(par::WorkKind::kFieldGather, static_cast<double>(pushed));
     c.charge(par::WorkKind::kBorisPush, static_cast<double>(pushed));
     c.charge(par::WorkKind::kMove, static_cast<double>(st.moved));
     c.charge(par::WorkKind::kWalkStep, static_cast<double>(st.walk_steps));
+    exited[r] = st.exited;
   });
-  diag.migrated_pic +=
-      exchange::exchange_particles(*rt_, phases::kPicExchange, pcfg_.strategy,
-                                   stores_, removed_, owner_)
-          .migrated;
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    diag.exited_pic += exited[r];
+    diag.pic_lost += lost[r];
+  }
+
+  if (auditor_) auditor_->on_flagged(flagged_count());
+  const std::int64_t before = auditor_ ? total_particles() : 0;
+  exchange::ExchangeStats ex;
+  {
+    const obs::HostProfiler::Scope prof(prof_, "exchange");
+    ex = exchange::exchange_particles(*rt_, phases::kPicExchange,
+                                      pcfg_.strategy, stores_, removed_,
+                                      owner_);
+  }
+  diag.migrated_pic += ex.migrated;
+  if (auditor_)
+    auditor_->check_exchange(phases::kPicExchange, before, ex.dropped,
+                             total_particles());
   do_poisson_solve(diag);
 }
 
@@ -286,12 +350,35 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
 
   rt_->superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
+    const obs::HostProfiler::Scope prof(prof_, "deposit");
     const pic::DepositStats st = pic::deposit_charge(
         stores_[r], *fine_, species_, nodex_->rank_nodes(r), removed_[r],
         node_charge[r], kexec_.get(), &deposit_scratch_[r]);
     c.charge(par::WorkKind::kDeposit, static_cast<double>(st.deposited));
   });
+  if (cfg_.fault == FaultInjection::kSkewDeposit && !node_charge[0].empty())
+    node_charge[0][0] += 1.0;  // one spurious coulomb on one node
   nodex_->reduce_to_owners(*rt_, phase, node_charge);
+
+  if (auditor_) {
+    // Re-sum the charge the deposit should have scattered: every live
+    // charged particle the fine locate can place, q * fnum each. Pure read;
+    // particle order differs from the scatter order, hence the rel tol.
+    double expected = 0.0;
+    for (int r = 0; r < pcfg_.nranks; ++r) {
+      const auto pos = stores_[r].positions();
+      const auto cells = stores_[r].cells();
+      const auto spec = stores_[r].species();
+      for (std::size_t i = 0; i < stores_[r].size(); ++i) {
+        if (removed_[r][i]) continue;
+        const dsmc::Species& sp = species_[spec[i]];
+        if (!sp.charged()) continue;
+        if (fine_->locate(cells[i], pos[i]) < 0) continue;
+        expected += sp.charge * sp.fnum;
+      }
+    }
+    auditor_->check_charge(expected, nodex_->sum_owned(node_charge));
+  }
 
   // Per-rank RHS over owned rows.
   linalg::DistVector b(pcfg_.nranks);
@@ -311,9 +398,15 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
   if (!cfg_.poisson.warm_start) {
     for (auto& xr : x_) std::fill(xr.begin(), xr.end(), 0.0);
   }
-  const linalg::SolveResult res =
-      linalg::dist_cg(*rt_, phase, dmat_, b, x_, cfg_.poisson);
+  linalg::SolveResult res;
+  {
+    const obs::HostProfiler::Scope prof(prof_, "field_solve");
+    res = linalg::dist_cg(*rt_, phase, dmat_, b, x_, cfg_.poisson);
+  }
   diag.poisson_iterations = res.iterations;
+  if (auditor_)
+    auditor_->check_poisson(res.iterations, res.residual, cfg_.poisson.rel_tol,
+                            res.converged);
 
   // Refresh the driver mirror and the per-rank nodal potentials.
   for (int r = 0; r < pcfg_.nranks; ++r) {
@@ -380,13 +473,23 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
     }
   }
 
+  const obs::HostProfiler::Scope prof_rb(prof_, "rebalance");
   const std::vector<std::int32_t> new_owner = balance::redecompose(
       *rt_, phases::kRebalance, dual_, coarse_.centroids(), neutrals, charged,
       owner_, lb, lb_stats_);
 
   // Work redistribution: migrate particles to their new owners.
-  exchange::exchange_particles(*rt_, phases::kRebalance, pcfg_.strategy,
-                               stores_, removed_, new_owner);
+  if (auditor_) auditor_->on_flagged(flagged_count());
+  const std::int64_t before = auditor_ ? total_particles() : 0;
+  exchange::ExchangeStats ex;
+  {
+    const obs::HostProfiler::Scope prof_ex(prof_, "exchange");
+    ex = exchange::exchange_particles(*rt_, phases::kRebalance, pcfg_.strategy,
+                                      stores_, removed_, new_owner);
+  }
+  if (auditor_)
+    auditor_->check_exchange(phases::kRebalance, before, ex.dropped,
+                             total_particles());
   owner_ = new_owner;
   rebuild_parallel_structures(phases::kRebalance, /*charge_costs=*/true);
   steps_since_rebalance_ = 0;
@@ -421,6 +524,7 @@ StepDiagnostics CoupledSolver::step() {
   StepDiagnostics diag;
   diag.dsmc_step = step_;
 
+  if (auditor_) auditor_->begin_step(step_, total_particles());
   do_inject(diag);
   do_dsmc_move(diag);
   do_reindex();
@@ -437,6 +541,13 @@ StepDiagnostics CoupledSolver::step() {
     diag.total_hplus += store.count_species(dsmc::kSpeciesHPlus);
   }
   record_trace_counters(diag);
+
+  if (auditor_) {
+    auditor_->check_ownership(owner_, pcfg_.nranks, my_cells_);
+    auditor_->end_step(
+        total_particles(),
+        static_cast<std::int64_t>(rt_->undelivered_messages()));
+  }
 
   ++step_;
   history_.push_back(diag);

@@ -33,6 +33,11 @@
 #include "pic/poisson.hpp"
 #include "support/kernel_exec.hpp"
 
+namespace dsmcpic::obs {
+class HealthAuditor;
+class HostProfiler;
+}
+
 namespace dsmcpic::core {
 
 /// Per-DSMC-step diagnostics (drives Fig. 5 / Fig. 9-style outputs).
@@ -47,6 +52,9 @@ struct StepDiagnostics {
   std::int64_t collisions = 0;
   std::int64_t ionizations = 0;
   std::int64_t recombinations = 0;
+  std::int64_t exited_dsmc = 0;  // neutrals removed through inlet/outlet
+  std::int64_t exited_pic = 0;   // charged particles removed at boundaries
+  std::int64_t pic_lost = 0;     // charged particles the fine locate lost
   int poisson_iterations = 0;  // last PIC substep
   double lii = 0.0;            // load imbalance indicator this step
   bool rebalanced = false;
@@ -94,6 +102,22 @@ class CoupledSolver {
 
   RunSummary summary() const;
 
+  // ---- observability (DESIGN.md §2f) -------------------------------------
+  /// Attaches a health auditor; nullptr detaches. Audit hooks run on the
+  /// driver thread between supersteps, read accounting state only (plus one
+  /// read-only particle re-sum for the charge balance) and never draw
+  /// randomness, so attaching an auditor cannot perturb golden digests or
+  /// trace bytes. The auditor must outlive the attachment.
+  void set_auditor(obs::HealthAuditor* auditor) { auditor_ = auditor; }
+  obs::HealthAuditor* auditor() const { return auditor_; }
+
+  /// Attaches a host wall-clock profiler; nullptr detaches. Scopes open
+  /// inside superstep bodies (move/collide/react/deposit) and around the
+  /// driver-side stages (field_solve/exchange/rebalance); samples live only
+  /// in the profiler, strictly outside deterministic state.
+  void set_host_profiler(obs::HostProfiler* prof) { prof_ = prof; }
+  obs::HostProfiler* host_profiler() const { return prof_; }
+
   // ---- checkpoint / restart ----------------------------------------------
   /// Writes the complete simulation state (particles, potential, ownership,
   /// RNG stream positions, accounting clocks) to a binary file. Call
@@ -116,6 +140,10 @@ class CoupledSolver {
   /// rebalance decisions as instant events. No-op without a recorder;
   /// reads accounting state only, so it cannot perturb the run.
   void record_trace_counters(const StepDiagnostics& diag);
+
+  /// Number of removal-flagged particles across all ranks — the drop count
+  /// the next exchange must produce. Audit-only read.
+  std::int64_t flagged_count() const;
 
   void do_inject(StepDiagnostics& diag);
   void do_dsmc_move(StepDiagnostics& diag);
@@ -170,6 +198,9 @@ class CoupledSolver {
   std::vector<double> prev_total_, prev_pm_, prev_poi_;  // lii window
   balance::RebalanceStats lb_stats_;
   std::vector<StepDiagnostics> history_;
+
+  obs::HealthAuditor* auditor_ = nullptr;  // not owned
+  obs::HostProfiler* prof_ = nullptr;      // not owned
 };
 
 }  // namespace dsmcpic::core

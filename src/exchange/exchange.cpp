@@ -13,14 +13,21 @@ using dsmc::ParticleStore;
 
 /// Extracts (and removes from the store) every live particle whose cell is
 /// owned by another rank; drops particles flagged as removed. Returns the
-/// extracted records grouped per destination in `outgoing`.
-void extract_outgoing(ParticleStore& store, std::vector<std::uint8_t>& removed,
-                      std::span<const std::int32_t> cell_owner, int my_rank,
-                      std::map<int, std::vector<ParticleRecord>>& outgoing) {
+/// number of pre-flagged (dead) particles dropped; the extracted records
+/// are grouped per destination in `outgoing`.
+std::int64_t extract_outgoing(ParticleStore& store,
+                              std::vector<std::uint8_t>& removed,
+                              std::span<const std::int32_t> cell_owner,
+                              int my_rank,
+                              std::map<int, std::vector<ParticleRecord>>& outgoing) {
   DSMCPIC_CHECK(removed.size() == store.size());
   const auto cells = store.cells();
+  std::int64_t dropped = 0;
   for (std::size_t i = 0; i < store.size(); ++i) {
-    if (removed[i]) continue;
+    if (removed[i]) {
+      ++dropped;
+      continue;
+    }
     const int dest = cell_owner[cells[i]];
     if (dest == my_rank) continue;
     outgoing[dest].push_back(store.record(i));
@@ -28,6 +35,7 @@ void extract_outgoing(ParticleStore& store, std::vector<std::uint8_t>& removed,
   }
   store.remove_flagged(removed);
   removed.assign(store.size(), 0);
+  return dropped;
 }
 
 void append_records(ParticleStore& store, std::span<const ParticleRecord> recs) {
@@ -43,13 +51,16 @@ ExchangeStats exchange_centralized(par::Runtime& rt, const std::string& phase,
   ExchangeStats stats;
   // Root-side staging for classify: records pooled from everyone.
   std::vector<ParticleRecord> root_pool;
+  // Per-rank drop counts: bodies may run on worker threads, so each rank
+  // writes only its own slot and the driver reduces afterwards.
+  std::vector<std::int64_t> dropped(nranks, 0);
 
   // Stage 1 — gather: every rank ships ALL its outgoing to the root in one
   // message (root's own outgoing goes straight to the pool).
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     std::map<int, std::vector<ParticleRecord>> outgoing;
-    extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
+    dropped[r] = extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
     std::vector<ParticleRecord> all;
     for (auto& [dest, recs] : outgoing)
       all.insert(all.end(), recs.begin(), recs.end());
@@ -104,6 +115,7 @@ ExchangeStats exchange_centralized(par::Runtime& rt, const std::string& phase,
   for (int r = 0; r < nranks; ++r)
     stats.kept += static_cast<std::int64_t>(stores[r].size());
   stats.kept -= stats.migrated;
+  for (const std::int64_t d : dropped) stats.dropped += d;
   return stats;
 }
 
@@ -113,9 +125,10 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
                                    std::span<const std::int32_t> cell_owner) {
   const int nranks = rt.size();
   ExchangeStats stats;
-  // Per-rank migration counts: bodies may run on worker threads, so each
-  // rank writes only its own slot and the driver reduces afterwards.
+  // Per-rank migration/drop counts: bodies may run on worker threads, so
+  // each rank writes only its own slot and the driver reduces afterwards.
   std::vector<std::int64_t> migrated(nranks, 0);
+  std::vector<std::int64_t> dropped(nranks, 0);
 
   // The paper's implementation performs a synchronized two-round send/recv
   // across ALL ordered pairs (Sec. IV-B2), i.e. N(N-1) transactions even
@@ -127,7 +140,7 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     std::map<int, std::vector<ParticleRecord>> outgoing;
-    extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
+    dropped[r] = extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
     c.charge(par::WorkKind::kScan, static_cast<double>(stores[r].size()));
     for (int peer = 0; peer < nranks; ++peer) {
       if (peer == r) continue;
@@ -153,6 +166,7 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
   });
 
   for (const std::int64_t m : migrated) stats.migrated += m;
+  for (const std::int64_t d : dropped) stats.dropped += d;
   for (int r = 0; r < nranks; ++r)
     stats.kept += static_cast<std::int64_t>(stores[r].size());
   stats.kept -= stats.migrated;
@@ -172,6 +186,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
 
   ExchangeStats stats;
   std::vector<std::int64_t> migrated(nranks, 0);  // per rank; reduced below
+  std::vector<std::int64_t> dropped(nranks, 0);
 
   // Stage 1 — funnel: every rank classifies and ships its whole outgoing
   // set to its node leader (leaders keep theirs locally).
@@ -179,7 +194,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     std::map<int, std::vector<ParticleRecord>> outgoing;
-    extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
+    dropped[r] = extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
     c.charge(par::WorkKind::kScan, static_cast<double>(stores[r].size()));
     std::vector<ParticleRecord> all;
     for (auto& [dest, recs] : outgoing) {
@@ -263,6 +278,7 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
   });
 
   for (const std::int64_t m : migrated) stats.migrated += m;
+  for (const std::int64_t d : dropped) stats.dropped += d;
   for (int r = 0; r < nranks; ++r)
     stats.kept += static_cast<std::int64_t>(stores[r].size());
   stats.kept -= stats.migrated;

@@ -37,6 +37,7 @@ const char* strategy_name(Strategy s);
 struct ExchangeStats {
   std::int64_t migrated = 0;  // particles that changed ranks
   std::int64_t kept = 0;      // particles that stayed
+  std::int64_t dropped = 0;   // removed-flagged particles compacted away
 };
 
 /// Migrates every particle whose cell's owner differs from its current rank.

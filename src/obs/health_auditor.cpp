@@ -1,0 +1,196 @@
+#include "obs/health_auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace dsmcpic::obs {
+
+const char* invariant_name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kParticleBooks:
+      return "particle_books";
+    case Invariant::kExchangeConservation:
+      return "exchange_conservation";
+    case Invariant::kChargeBalance:
+      return "charge_balance";
+    case Invariant::kPoissonResidual:
+      return "poisson_residual";
+    case Invariant::kOwnership:
+      return "ownership";
+    case Invariant::kMailboxDrained:
+      return "mailbox_drained";
+  }
+  return "unknown";
+}
+
+const char* audit_severity_name(AuditSeverity s) {
+  switch (s) {
+    case AuditSeverity::kWarnOnly:
+      return "warn";
+    case AuditSeverity::kAbort:
+      return "abort";
+    case AuditSeverity::kCountOnly:
+      return "count";
+  }
+  return "unknown";
+}
+
+AuditSeverity parse_audit_severity(const std::string& name) {
+  if (name == "warn") return AuditSeverity::kWarnOnly;
+  if (name == "abort") return AuditSeverity::kAbort;
+  if (name == "count") return AuditSeverity::kCountOnly;
+  throw Error("unknown audit severity '" + name +
+              "' (expected warn|abort|count)");
+}
+
+std::int64_t AuditReport::checks() const {
+  std::int64_t n = 0;
+  for (const auto& t : by_invariant) n += t.checks;
+  return n;
+}
+
+std::int64_t AuditReport::violations() const {
+  std::int64_t n = 0;
+  for (const auto& t : by_invariant) n += t.violations;
+  return n;
+}
+
+HealthAuditor::HealthAuditor(AuditConfig cfg) : cfg_(cfg) {}
+
+void HealthAuditor::check(Invariant inv, bool ok, const std::string& detail) {
+  auto& tally = report_.by_invariant[static_cast<std::size_t>(inv)];
+  ++tally.checks;
+  if (ok) return;
+  ++tally.violations;
+  std::ostringstream os;
+  os << "step " << step_ << ": " << invariant_name(inv) << " violated: "
+     << detail;
+  const std::string msg = os.str();
+  if (report_.first_violation.empty()) {
+    report_.first_violation = msg;
+    report_.first_violation_step = step_;
+  }
+  switch (cfg_.severity) {
+    case AuditSeverity::kWarnOnly:
+      LOG_WARN_C("audit", msg);
+      break;
+    case AuditSeverity::kAbort:
+      throw Error("audit: " + msg);
+    case AuditSeverity::kCountOnly:
+      break;
+  }
+}
+
+void HealthAuditor::begin_step(int step, std::int64_t alive) {
+  step_ = step;
+  step_begin_alive_ = alive;
+  injected_ = 0;
+  spawned_ = 0;
+  flagged_ = 0;
+  dropped_total_ = 0;
+}
+
+void HealthAuditor::check_exchange(const char* phase, std::int64_t total_before,
+                                   std::int64_t dropped,
+                                   std::int64_t total_after) {
+  check(Invariant::kExchangeConservation,
+        total_after == total_before - dropped && dropped == flagged_,
+        [&] {
+          std::ostringstream os;
+          os << phase << " exchange: before=" << total_before
+             << " dropped=" << dropped << " after=" << total_after
+             << " expected_drops(flagged)=" << flagged_;
+          return os.str();
+        }());
+  dropped_total_ += dropped;
+  flagged_ = 0;  // the exchange consumed (compacted away) all flags
+}
+
+void HealthAuditor::end_step(std::int64_t alive,
+                             std::int64_t undelivered_messages) {
+  const std::int64_t expected =
+      step_begin_alive_ + injected_ + spawned_ - dropped_total_;
+  check(Invariant::kParticleBooks, alive == expected, [&] {
+    std::ostringstream os;
+    os << "begin=" << step_begin_alive_ << " +injected=" << injected_
+       << " +spawned=" << spawned_ << " -dropped=" << dropped_total_
+       << " => expected " << expected << " alive, found " << alive;
+    return os.str();
+  }());
+  check(Invariant::kMailboxDrained, undelivered_messages == 0, [&] {
+    std::ostringstream os;
+    os << undelivered_messages << " undelivered message(s) in the runtime";
+    return os.str();
+  }());
+}
+
+void HealthAuditor::check_charge(double particle_charge,
+                                 double deposited_charge) {
+  const double scale =
+      std::max({std::abs(particle_charge), std::abs(deposited_charge), 1e-300});
+  const double rel = std::abs(particle_charge - deposited_charge) / scale;
+  check(Invariant::kChargeBalance,
+        std::isfinite(deposited_charge) && rel <= cfg_.charge_rel_tol, [&] {
+          std::ostringstream os;
+          os.precision(17);
+          os << "deposited=" << deposited_charge
+             << " vs particle=" << particle_charge << " (rel err " << rel
+             << ", tol " << cfg_.charge_rel_tol << ")";
+          return os.str();
+        }());
+}
+
+void HealthAuditor::check_poisson(int iterations, double residual,
+                                  double rel_tol, bool converged) {
+  const double bound = converged ? rel_tol : cfg_.poisson_residual_bound;
+  check(Invariant::kPoissonResidual,
+        std::isfinite(residual) && residual <= bound, [&] {
+          std::ostringstream os;
+          os.precision(17);
+          os << "cg " << (converged ? "converged" : "NOT converged") << " after "
+             << iterations << " iterations, residual " << residual
+             << " exceeds bound " << bound;
+          return os.str();
+        }());
+}
+
+void HealthAuditor::check_ownership(
+    std::span<const std::int32_t> owner, int nranks,
+    const std::vector<std::vector<std::int32_t>>& rank_cells) {
+  bool ok = static_cast<int>(rank_cells.size()) == nranks;
+  std::string detail;
+  // seen[c] counts appearances of cell c across all rank lists.
+  std::vector<std::int32_t> seen(owner.size(), 0);
+  for (std::size_t r = 0; ok && r < rank_cells.size(); ++r) {
+    for (const std::int32_t c : rank_cells[r]) {
+      if (c < 0 || static_cast<std::size_t>(c) >= owner.size() ||
+          owner[c] != static_cast<std::int32_t>(r)) {
+        std::ostringstream os;
+        os << "cell " << c << " listed by rank " << r << " but owner is "
+           << (c >= 0 && static_cast<std::size_t>(c) < owner.size()
+                   ? owner[c]
+                   : -1);
+        detail = os.str();
+        ok = false;
+        break;
+      }
+      ++seen[static_cast<std::size_t>(c)];
+    }
+  }
+  for (std::size_t c = 0; ok && c < owner.size(); ++c) {
+    if (owner[c] < 0 || owner[c] >= nranks || seen[c] != 1) {
+      std::ostringstream os;
+      os << "cell " << c << " owned by rank " << owner[c] << " appears "
+         << seen[c] << " time(s) in the rank cell lists";
+      detail = os.str();
+      ok = false;
+    }
+  }
+  check(Invariant::kOwnership, ok, detail);
+}
+
+}  // namespace dsmcpic::obs

@@ -1,0 +1,81 @@
+#pragma once
+// Machine-readable end-of-run report (DESIGN.md §2f). Every bench case can
+// emit one `run_report.json` capturing what the run was (config echo), what
+// the cost model said (virtual-time summary per phase), what the physics
+// did (step totals), whether the books balanced (health-audit tallies) and
+// where the host spent real milliseconds (host profile). scripts/
+// check_report.sh validates the shape; scripts/check_bench_regression.py
+// gates the kernel timings.
+//
+// The struct is plain values so this module stays below core in the layer
+// graph: the bench harness (or any caller) copies the numbers out of
+// core::RunSummary / StepDiagnostics and the runtime; obs never includes
+// core headers. Serialization uses trace::JsonWriter, so identical inputs
+// produce identical bytes (the host-profile milliseconds are wall-clock
+// and naturally vary; the document *structure* never does).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/health_auditor.hpp"
+#include "obs/host_profiler.hpp"
+
+namespace dsmcpic::obs {
+
+inline constexpr const char* kRunReportSchema = "dsmcpic.run_report.v1";
+
+/// Cumulative virtual-time accounting of one runtime phase.
+struct RunReportPhase {
+  std::string name;
+  double busy_max = 0.0;
+  double busy_min = 0.0;
+  double busy_sum = 0.0;
+  std::uint64_t transactions = 0;
+  double bytes = 0.0;
+};
+
+/// Echo of the case configuration (strings pre-rendered by the caller).
+struct RunReportConfig {
+  std::string bench;       // bench binary name, e.g. "bench_strategies"
+  std::string case_name;   // human-readable case id within the bench
+  int ranks = 0;
+  int steps = 0;
+  std::string machine;
+  std::uint64_t seed = 0;
+  std::string exec_mode;
+  int exec_threads = 0;
+  int kernel_threads = 0;
+  std::string strategy;
+  bool balance = false;
+  std::string audit_severity;  // "off" when no auditor was attached
+};
+
+/// Whole-run physics totals (summed over steps unless noted).
+struct RunReportSteps {
+  std::int64_t final_particles = 0;
+  std::int64_t injected = 0;
+  std::int64_t migrated_dsmc = 0;
+  std::int64_t migrated_pic = 0;
+  std::int64_t collisions = 0;
+  std::int64_t ionizations = 0;
+  std::int64_t recombinations = 0;
+  std::int64_t rebalances = 0;
+};
+
+struct RunReport {
+  RunReportConfig config;
+  double total_virtual_time = 0.0;
+  std::vector<RunReportPhase> phases;
+  RunReportSteps steps;
+  /// Optional sections; null pointer renders as {"enabled": false}.
+  const AuditReport* audit = nullptr;
+  const HostProfiler* profiler = nullptr;
+};
+
+void write_run_report(std::ostream& os, const RunReport& report);
+/// Writes (overwrites) `path`; throws dsmcpic::Error on I/O failure.
+void write_run_report_file(const std::string& path, const RunReport& report);
+
+}  // namespace dsmcpic::obs

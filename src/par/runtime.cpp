@@ -217,6 +217,12 @@ std::size_t Runtime::staged_count() const {
   return n;
 }
 
+std::size_t Runtime::undelivered_messages() const {
+  std::size_t n = staged_count();
+  for (const auto& p : pending_) n += p.size();
+  return n;
+}
+
 void Runtime::route_messages(int phase) {
   const std::uint64_t hint = congestion_hint_;
   congestion_hint_ = 0;  // one-shot

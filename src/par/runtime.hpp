@@ -265,6 +265,13 @@ class Runtime {
   /// Names of all phases seen so far, in first-use order.
   std::vector<std::string> phases() const;
 
+  /// Messages sitting in the BSP pipeline right now: staged sends of an
+  /// in-flight superstep plus pending deliveries for the next one. Between
+  /// whole solver steps every mailbox must be drained (an exchange protocol
+  /// that ends with an unread message leaked particles) — the health
+  /// auditor's mailbox invariant checks exactly this. Read-only.
+  std::size_t undelivered_messages() const;
+
   /// Binary checkpoint of the accounting state (clocks, per-phase busy
   /// matrices). Message queues must be empty (between supersteps).
   void save(std::ostream& os) const;

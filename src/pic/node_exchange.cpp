@@ -73,6 +73,17 @@ std::vector<std::vector<double>> NodeExchange::make_values() const {
   return v;
 }
 
+double NodeExchange::sum_owned(
+    const std::vector<std::vector<double>>& values) const {
+  double total = 0.0;
+  for (int r = 0; r < nranks_; ++r) {
+    const auto& nodes = rank_nodes_[r];
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (node_owner_[nodes[i]] == r) total += values[r][i];
+  }
+  return total;
+}
+
 void NodeExchange::reduce_to_owners(par::Runtime& rt, const std::string& phase,
                                     std::vector<std::vector<double>>& values) const {
   rt.superstep(phase, [&](par::Comm& c) {

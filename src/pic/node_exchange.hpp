@@ -52,6 +52,12 @@ class NodeExchange {
   /// Convenience: fresh zeroed per-rank value vectors.
   std::vector<std::vector<double>> make_values() const;
 
+  /// Sum of the OWNED entries of per-rank values (each global node counted
+  /// exactly once, at its owner). After reduce_to_owners this is the global
+  /// total of the reduced field — the number the health auditor balances
+  /// against the particle charge. Pure read.
+  double sum_owned(const std::vector<std::vector<double>>& values) const;
+
  private:
   struct Plan {
     int peer = -1;

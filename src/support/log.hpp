@@ -1,6 +1,16 @@
 #pragma once
 // Tiny leveled logger. Quiet by default so ctest output stays readable;
-// bench binaries can raise the level with --verbose.
+// bench binaries can raise the level with --verbose and any process can
+// set the DSMCPIC_LOG environment variable (debug|info|warn|error|off)
+// before the first message is emitted.
+//
+// Each line carries an ISO-8601 UTC wall-clock timestamp plus a component
+// tag, e.g.
+//
+//   2026-08-05T12:34:56.789Z WARN  [audit] step 3: particle books ...
+//
+// Timestamps are wall-clock (stderr only) — nothing in the deterministic
+// state ever reads them.
 
 #include <iostream>
 #include <sstream>
@@ -10,26 +20,44 @@ namespace dsmcpic {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. The first call
+/// (of either function) applies DSMCPIC_LOG from the environment once;
+/// set_log_level overrides it.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive);
+/// returns fallback on anything else.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
+
 namespace detail {
-void log_emit(LogLevel level, const std::string& msg);
+void log_emit(LogLevel level, const char* component, const std::string& msg);
 }
 
-#define DSMCPIC_LOG(level, msg_expr)                                     \
+/// `component` tags the subsystem emitting the line ("audit", "bench", ...).
+#define DSMCPIC_LOG_C(level, component, msg_expr)                        \
   do {                                                                   \
     if (static_cast<int>(level) >= static_cast<int>(::dsmcpic::log_level())) { \
       std::ostringstream os_;                                            \
       os_ << msg_expr;                                                   \
-      ::dsmcpic::detail::log_emit(level, os_.str());                     \
+      ::dsmcpic::detail::log_emit(level, component, os_.str());          \
     }                                                                    \
   } while (0)
+
+#define DSMCPIC_LOG(level, msg_expr) DSMCPIC_LOG_C(level, "dsmcpic", msg_expr)
 
 #define LOG_DEBUG(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kDebug, msg)
 #define LOG_INFO(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kInfo, msg)
 #define LOG_WARN(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kWarn, msg)
 #define LOG_ERROR(msg) DSMCPIC_LOG(::dsmcpic::LogLevel::kError, msg)
+
+#define LOG_DEBUG_C(component, msg) \
+  DSMCPIC_LOG_C(::dsmcpic::LogLevel::kDebug, component, msg)
+#define LOG_INFO_C(component, msg) \
+  DSMCPIC_LOG_C(::dsmcpic::LogLevel::kInfo, component, msg)
+#define LOG_WARN_C(component, msg) \
+  DSMCPIC_LOG_C(::dsmcpic::LogLevel::kWarn, component, msg)
+#define LOG_ERROR_C(component, msg) \
+  DSMCPIC_LOG_C(::dsmcpic::LogLevel::kError, component, msg)
 
 }  // namespace dsmcpic

@@ -1,0 +1,116 @@
+#include "trace/json_writer.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "support/error.hpp"
+#include "trace/chrome_writer.hpp"
+
+namespace dsmcpic::trace {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+JsonWriter::~JsonWriter() { finish(); }
+
+void JsonWriter::newline_indent() {
+  os_ << "\n";
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) return;  // top-level value
+  Scope& top = stack_.back();
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // "key": already emitted the separator
+  }
+  DSMCPIC_CHECK_MSG(top.array, "JSON object value requires a key() first");
+  if (!top.first) os_ << ",";
+  top.first = false;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  os_ << "{";
+  stack_.push_back(Scope{/*array=*/false, /*first=*/true});
+}
+
+void JsonWriter::end_object() {
+  DSMCPIC_CHECK_MSG(!stack_.empty() && !stack_.back().array,
+                    "end_object outside an object");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  os_ << "[";
+  stack_.push_back(Scope{/*array=*/true, /*first=*/true});
+}
+
+void JsonWriter::end_array() {
+  DSMCPIC_CHECK_MSG(!stack_.empty() && stack_.back().array,
+                    "end_array outside an array");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  DSMCPIC_CHECK_MSG(!stack_.empty() && !stack_.back().array,
+                    "key() outside an object");
+  DSMCPIC_CHECK_MSG(!key_pending_, "two keys in a row");
+  Scope& top = stack_.back();
+  if (!top.first) os_ << ",";
+  top.first = false;
+  newline_indent();
+  os_ << "\"" << escape_json(k) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_value();
+  os_ << "\"" << escape_json(s) << "\"";
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  os_ << format_double(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  while (!stack_.empty()) {
+    if (key_pending_) {  // dangling key: complete the document legally
+      key_pending_ = false;
+      os_ << "null";
+    }
+    if (stack_.back().array)
+      end_array();
+    else
+      end_object();
+  }
+  os_ << "\n";
+}
+
+}  // namespace dsmcpic::trace

@@ -1,0 +1,77 @@
+#pragma once
+// Generic streaming JSON document writer built on the same deterministic
+// primitives as the Chrome trace exporter (escape_json for strings,
+// format_double for shortest-round-trip numbers). Emits pretty-printed,
+// key-ordered-as-written documents: identical inputs produce identical
+// bytes, which the run-report shape checks rely on.
+//
+// Usage is push-style with explicit structure:
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//     w.kv("schema", "dsmcpic.run_report.v1");
+//     w.key("kernels"); w.begin_array(); ... w.end_array();
+//   w.end_object();   // or let the destructor close open scopes
+//
+// Misuse (value without a key inside an object, key inside an array) is
+// caught by DSMCPIC_CHECK.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace dsmcpic::trace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+  /// Closes any scopes still open (so a throw mid-document still leaves
+  /// parseable JSON behind).
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next value; must be inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Closes every open scope. Idempotent; called by the destructor.
+  void finish();
+
+ private:
+  struct Scope {
+    bool array = false;
+    bool first = true;
+  };
+
+  void pre_value();  // separator + indentation bookkeeping
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  bool key_pending_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace dsmcpic::trace

@@ -7,13 +7,14 @@
 
 #include "common.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 
 namespace dsmcpic {
 namespace {
 
 TEST(BenchCli, UnknownFlagExitsWithUsage) {
   Cli cli("bench under test");
-  bench::CommonFlags flags(cli, "4", 3);
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
   const char* argv[] = {"prog", "--bogus", "7"};
   EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
               testing::ExitedWithCode(2), "unknown flag --bogus");
@@ -21,7 +22,7 @@ TEST(BenchCli, UnknownFlagExitsWithUsage) {
 
 TEST(BenchCli, MistypedSingleDashFlagExits) {
   Cli cli("bench under test");
-  bench::CommonFlags flags(cli, "4", 3);
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
   const char* argv[] = {"prog", "-steps", "3"};
   EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
               testing::ExitedWithCode(2), "unknown flag -steps");
@@ -29,7 +30,7 @@ TEST(BenchCli, MistypedSingleDashFlagExits) {
 
 TEST(BenchCli, StrayPositionalExits) {
   Cli cli("bench under test");
-  bench::CommonFlags flags(cli, "4", 3);
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
   const char* argv[] = {"prog", "--steps", "3", "leftover"};
   EXPECT_EXIT(bench::parse_or_usage(cli, 4, argv),
               testing::ExitedWithCode(2), "unexpected argument 'leftover'");
@@ -37,25 +38,48 @@ TEST(BenchCli, StrayPositionalExits) {
 
 TEST(BenchCli, HelpReturnsFalse) {
   Cli cli("bench under test");
-  bench::CommonFlags flags(cli, "4", 3);
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(bench::parse_or_usage(cli, 2, argv));
 }
 
 TEST(BenchCli, CommonFlagsReachBenchOptions) {
   Cli cli("bench under test");
-  bench::CommonFlags flags(cli, "4", 3);
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
   const char* argv[] = {"prog",           "--ranks",  "2,8",
                         "--steps",        "5",        "--trace",
                         "/tmp/out.json",  "--exec-mode", "threaded",
-                        "--kernel-threads", "4"};
-  ASSERT_TRUE(bench::parse_or_usage(cli, 11, argv));
+                        "--kernel-threads", "4",
+                        "--report", "/tmp/report.json",
+                        "--audit", "warn"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 15, argv));
   const bench::BenchOptions o = flags.finish();
   EXPECT_EQ(o.ranks, (std::vector<int>{2, 8}));
   EXPECT_EQ(o.steps, 5);
   EXPECT_EQ(o.trace_path, "/tmp/out.json");
   EXPECT_EQ(o.exec_mode, par::ExecMode::kThreaded);
   EXPECT_EQ(o.kernel_threads, 4);
+  EXPECT_EQ(o.bench_name, "bench_under_test");
+  EXPECT_EQ(o.report_path, "/tmp/report.json");
+  EXPECT_EQ(o.audit, "warn");
+}
+
+TEST(BenchCli, AuditDefaultsOffAndRejectsTypos) {
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 1, argv));
+    EXPECT_EQ(flags.finish().audit, "off");
+    EXPECT_TRUE(flags.finish().report_path.empty());
+  }
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog", "--audit", "wrn"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(flags.finish(), Error);
+  }
 }
 
 TEST(BenchCli, TraceCasePathInsertsBeforeExtension) {

@@ -12,6 +12,8 @@
 
 #include "core/datasets.hpp"
 #include "core/solver.hpp"
+#include "obs/health_auditor.hpp"
+#include "obs/host_profiler.hpp"
 #include "trace/recorder.hpp"
 
 namespace dsmcpic::core {
@@ -43,17 +45,27 @@ SolverConfig tiny_config() {
 }
 
 std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
-                         int kernel_threads = 1, bool traced = false) {
+                         int kernel_threads = 1, bool traced = false,
+                         bool audited = false) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
   par.balance.enabled = balance_enabled;
   par.balance.period = 3;
   par.kernel_threads = kernel_threads;
+  obs::HealthAuditor auditor({obs::AuditSeverity::kAbort});
+  obs::HostProfiler prof;
   CoupledSolver solver(tiny_config(), par);
   trace::TraceRecorder rec(par.nranks);
   if (traced) solver.runtime().set_tracer(&rec);
+  if (audited) {
+    solver.set_auditor(&auditor);
+    solver.set_host_profiler(&prof);
+  }
   solver.run(8);
+  if (audited) {
+    EXPECT_EQ(auditor.report().violations(), 0);
+  }
 
   Fnv1a d;
   for (const StepDiagnostics& s : solver.history()) {
@@ -122,6 +134,17 @@ TEST(Golden, TraceEnabledMatchesSerialGolden) {
   const std::uint64_t got =
       run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
                  /*kernel_threads=*/1, /*traced=*/true);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// Health audits + host profiling (DESIGN.md §2f) make the same claim:
+// attaching both, at abort severity, must neither flag a violation nor
+// move the digest off the golden value.
+TEST(Golden, AuditsEnabledMatchSerialGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/true);
   EXPECT_EQ(got, kGoldenDcBalanced)
       << "new digest: 0x" << std::hex << got << "ULL";
 }
