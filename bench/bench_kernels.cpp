@@ -2,7 +2,10 @@
 // deposit) at serial vs 2 vs 4 kernel lanes, plus the pre-cache seed
 // baseline (geometry caches disabled, serial) so the win from the
 // precomputed face planes / barycentric inverses is measured separately
-// from the win of chunking. Unlike the paper-reproduction benches this one
+// from the win of chunking. The sorted_* lanes rerun cached-serial/kt2/kt4
+// on a cell-major (cell-sorted) copy of the same population, isolating the
+// traversal-locality win of the periodic cell sort (DESIGN.md §2g) from
+// both. Unlike the paper-reproduction benches this one
 // reports REAL milliseconds, not virtual seconds — the kernel lanes are
 // invisible to the cost model by design (docs/cost_model.md).
 //
@@ -96,6 +99,9 @@ struct KernelTimes {
   double serial = 0.0;            // caches on, no lanes
   double kt2 = 0.0;
   double kt4 = 0.0;
+  double sorted_serial = 0.0;  // cell-sorted population, caches on, no lanes
+  double sorted_kt2 = 0.0;
+  double sorted_kt4 = 0.0;
 };
 
 void emit(std::FILE* f, const char* name, const KernelTimes& t,
@@ -106,11 +112,18 @@ void emit(std::FILE* f, const char* name, const KernelTimes& t,
                "      \"serial_cached_ms\": %.3f,\n"
                "      \"kt2_ms\": %.3f,\n"
                "      \"kt4_ms\": %.3f,\n"
+               "      \"sorted_serial_ms\": %.3f,\n"
+               "      \"sorted_kt2_ms\": %.3f,\n"
+               "      \"sorted_kt4_ms\": %.3f,\n"
                "      \"speedup_kt4_vs_serial\": %.3f,\n"
-               "      \"speedup_cache_only\": %.3f\n"
+               "      \"speedup_cache_only\": %.3f,\n"
+               "      \"speedup_sort_only\": %.3f,\n"
+               "      \"speedup_kt4_vs_serial_cached\": %.3f\n"
                "    }%s\n",
                name, t.serial_recompute, t.serial, t.kt2, t.kt4,
+               t.sorted_serial, t.sorted_kt2, t.sorted_kt4,
                t.serial_recompute / t.kt4, t.serial_recompute / t.serial,
+               t.serial / t.sorted_serial, t.serial / t.sorted_kt4,
                trailing_comma ? "," : "");
 }
 
@@ -155,17 +168,33 @@ int main(int argc, char** argv) {
                          (2.0 * vth);
   const double dt_collide = 4e-6;
 
+  // The scattered population above is the collide/deposit worst case: walking
+  // a cell's particle list strides the whole store. The sorted lanes time the
+  // same kernels on the cell-major layout the solver's periodic sort
+  // (--sort-every) maintains; within-cell order is identical, so collide
+  // follows the identical trajectory and times the same workload.
+  dsmc::ParticleStore sorted_base = base;
+  {
+    dsmc::SortScratch sort_scr;
+    sorted_base.sort_by_cell(coarse.num_tets(), sort_scr);
+  }
+
   const dsmc::Mover mover(coarse, table, dsmc::MoverConfig{});
   support::KernelExec exec2(2), exec4(4);
   struct Lane {
     const char* name;
     const support::KernelExec* exec;
     bool cache;
+    const dsmc::ParticleStore* pop;
   };
-  const Lane lanes[] = {{"serial_recompute", nullptr, false},
-                        {"serial", nullptr, true},
-                        {"kt2", &exec2, true},
-                        {"kt4", &exec4, true}};
+  const Lane lanes[] = {{"serial_recompute", nullptr, false, &base},
+                        {"serial", nullptr, true, &base},
+                        {"kt2", &exec2, true, &base},
+                        {"kt4", &exec4, true, &base},
+                        {"sorted_serial", nullptr, true, &sorted_base},
+                        {"sorted_kt2", &exec2, true, &sorted_base},
+                        {"sorted_kt4", &exec4, true, &sorted_base}};
+  constexpr int kNumLanes = 7;
 
   KernelTimes move_t, collide_t, deposit_t;
   const auto slot = [](KernelTimes& t, int i) -> double& {
@@ -173,18 +202,21 @@ int main(int argc, char** argv) {
       case 0: return t.serial_recompute;
       case 1: return t.serial;
       case 2: return t.kt2;
+      case 3: return t.kt4;
+      case 4: return t.sorted_serial;
+      case 5: return t.sorted_kt2;
     }
-    return t.kt4;
+    return t.sorted_kt4;
   };
 
   // --- move ---------------------------------------------------------------
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kNumLanes; ++i) {
     coarse.set_geometry_cache_enabled(lanes[i].cache);
-    dsmc::ParticleStore store = base;
+    dsmc::ParticleStore store = *lanes[i].pop;
     std::vector<std::uint8_t> removed(store.size(), 0);
     std::int64_t walk = 0;
     slot(move_t, i) = best_of(nreps, [&] {
-      store = base;
+      store = *lanes[i].pop;
       std::fill(removed.begin(), removed.end(), 0);
       const dsmc::MoveStats s = mover.move_all(
           store, dt_move, /*step=*/0, removed, dsmc::MoveFilter::kAll,
@@ -199,7 +231,7 @@ int main(int argc, char** argv) {
   std::vector<std::int32_t> all_cells(
       static_cast<std::size_t>(coarse.num_tets()));
   std::iota(all_cells.begin(), all_cells.end(), 0);
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kNumLanes; ++i) {
     coarse.set_geometry_cache_enabled(lanes[i].cache);
     dsmc::CollideScratch scratch;
     dsmc::CellIndex index;
@@ -209,7 +241,7 @@ int main(int argc, char** argv) {
       // Fresh store + kernel per run (untimed): the adaptive majorants and
       // the velocity updates must follow the identical trajectory in every
       // lane config, or the configs would time different workloads.
-      dsmc::ParticleStore store = base;
+      dsmc::ParticleStore store = *lanes[i].pop;
       dsmc::CollisionKernel kernel(coarse, table, dsmc::CollisionConfig{});
       index.rebuild(store, coarse.num_tets());
       const double t0 = now_ms();
@@ -231,14 +263,14 @@ int main(int argc, char** argv) {
   std::iota(sorted_nodes.begin(), sorted_nodes.end(), 0);
   std::vector<double> node_charge(sorted_nodes.size(), 0.0);
   const std::vector<std::uint8_t> none(base.size(), 0);
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kNumLanes; ++i) {
     refined.mesh.set_geometry_cache_enabled(lanes[i].cache);
     pic::DepositScratch scratch;
     std::int64_t deposited = 0;
     slot(deposit_t, i) = best_of(nreps, [&] {
       std::fill(node_charge.begin(), node_charge.end(), 0.0);
       const pic::DepositStats s =
-          pic::deposit_charge(base, grid, table, sorted_nodes, none,
+          pic::deposit_charge(*lanes[i].pop, grid, table, sorted_nodes, none,
                               node_charge, lanes[i].exec, &scratch);
       deposited = s.deposited;
     });
@@ -261,6 +293,7 @@ int main(int argc, char** argv) {
                "serial_recompute is the pre-cache seed baseline, "
                "speedups are vs that baseline\",\n"
                "  \"mesh\": {\"coarse_tets\": %d, \"fine_tets\": %d},\n"
+               "  \"layout\": \"soa\",\n"
                "  \"particles\": %zu,\n"
                "  \"kernels\": {\n",
                nreps, coarse.num_tets(), refined.mesh.num_tets(),
@@ -276,7 +309,7 @@ int main(int argc, char** argv) {
     struct { const char* kernel; KernelTimes* t; } rows[] = {
         {"move", &move_t}, {"collide", &collide_t}, {"deposit", &deposit_t}};
     for (const auto& row : rows) {
-      for (int i = 0; i < 4; ++i)
+      for (int i = 0; i < kNumLanes; ++i)
         prof.record(std::string(row.kernel) + "/" + lanes[i].name,
                     slot(*row.t, i));
     }
@@ -295,7 +328,11 @@ int main(int argc, char** argv) {
     std::printf("run report: %s\n", report->c_str());
   }
 
-  std::printf("\nmove speedup kt4 vs serial baseline: %.2fx  -> %s\n",
-              move_t.serial_recompute / move_t.kt4, out->c_str());
+  std::printf("\nmove speedup kt4 vs serial baseline: %.2fx\n",
+              move_t.serial_recompute / move_t.kt4);
+  std::printf("collide sorted kt4 vs cached serial:  %.2fx\n",
+              collide_t.serial / collide_t.sorted_kt4);
+  std::printf("deposit sorted kt4 vs cached serial:  %.2fx  -> %s\n",
+              deposit_t.serial / deposit_t.sorted_kt4, out->c_str());
   return 0;
 }

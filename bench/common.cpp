@@ -43,6 +43,10 @@ CommonFlags::CommonFlags(Cli& cli, std::string bench_name,
   kernel_threads_ = cli.add_int(
       "kernel-threads", 1,
       "intra-rank kernel lanes (1 = serial; bit-identical results)");
+  sort_every_ = cli.add_int(
+      "sort-every", 8,
+      "cell-sort the particle stores every N DSMC steps "
+      "(0 = never; bit-identical results)");
   trace_ = cli.add_string(
       "trace", "",
       "write a Chrome/Perfetto trace JSON of each case to this path "
@@ -67,6 +71,7 @@ BenchOptions CommonFlags::finish() const {
   o.exec_mode = par::parse_exec_mode(*exec_mode_);
   o.exec_threads = static_cast<int>(*threads_);
   o.kernel_threads = static_cast<int>(*kernel_threads_);
+  o.sort_every = static_cast<int>(*sort_every_);
   o.trace_path = *trace_;
   o.bench_name = bench_name_;
   o.report_path = *report_;
@@ -146,6 +151,7 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
 
   core::SolverConfig cfg = ds.config;
   cfg.seed = opt.seed;
+  cfg.sort_every = opt.sort_every;
   cfg.poisson.rel_tol = 1e-5;  // KSP-like default tolerance
   cfg.poisson.max_iterations = 200;
 
@@ -208,6 +214,7 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
     rep.config.exec_mode = par::exec_mode_name(par.exec_mode);
     rep.config.exec_threads = par.exec_threads;
     rep.config.kernel_threads = par.kernel_threads;
+    rep.config.sort_every = cfg.sort_every;
     rep.config.strategy = exchange::strategy_name(par.strategy);
     rep.config.balance = par.balance.enabled;
     rep.config.audit_severity = opt.audit;

@@ -26,6 +26,9 @@ struct BenchOptions {
   int exec_threads = 0;  // <= 0: one lane per hardware thread
   // Intra-rank kernel lanes (orthogonal to exec_mode; bit-identical too).
   int kernel_threads = 1;
+  // Periodic cell sort interval in DSMC steps (0 disables). Bit-identical
+  // for any value — sorting only changes memory layout and wall-clock.
+  int sort_every = 8;
   // When non-empty, every run_case() records a virtual-time trace and
   // writes <trace_path> (Chrome/Perfetto JSON), <trace_path>.metrics.csv,
   // and a critical-path report to stderr. Case N > 0 of a multi-case bench
@@ -64,6 +67,7 @@ class CommonFlags {
   const std::string* exec_mode_;
   const std::int64_t* threads_;
   const std::int64_t* kernel_threads_;
+  const std::int64_t* sort_every_;
   const std::string* trace_;
   const std::string* report_;
   const std::string* audit_;

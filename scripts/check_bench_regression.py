@@ -14,6 +14,13 @@ The two files must describe the same workload (mesh sizes and particle
 count); comparing different workloads is meaningless, so a mismatch exits
 with status 2 rather than pretending to pass or fail.
 
+Timing fields (any numeric "*_ms" key) are discovered from the files, and
+only fields present in BOTH are compared: kernels or timing lanes that
+exist only in the fresh run are newly added — the gate warns and moves
+on, so growing the bench never requires a lockstep baseline update. A
+kernel or lane present only in the BASELINE, however, vanished from the
+bench and still exits 2.
+
 Exit codes: 0 no regression, 1 regression detected, 2 bad input /
 workload mismatch.
 """
@@ -22,7 +29,11 @@ import argparse
 import json
 import sys
 
-TIMING_FIELDS = ["serial_recompute_ms", "serial_cached_ms", "kt2_ms", "kt4_ms"]
+
+def timing_fields(kernel_obj):
+    """Numeric '*_ms' keys of one kernel's entry (speedups etc. excluded)."""
+    return {k for k, v in kernel_obj.items()
+            if k.endswith("_ms") and isinstance(v, (int, float))}
 
 
 def load(path):
@@ -68,15 +79,28 @@ def main():
     if missing:
         print(f"error: fresh run is missing kernels {missing}", file=sys.stderr)
         sys.exit(2)
+    for kernel in sorted(set(fresh_kernels) - set(base_kernels)):
+        print(f"warning: kernel '{kernel}' is new (not in baseline); "
+              "skipped — refresh the baseline to start gating it",
+              file=sys.stderr)
 
     regressions = []
     print(f"{'kernel':<10}{'timing':<22}{'baseline':>10}{'fresh':>10}{'ratio':>8}")
     for kernel in sorted(base_kernels):
-        for field in TIMING_FIELDS:
-            base = base_kernels[kernel].get(field)
-            new = fresh_kernels[kernel].get(field)
-            if base is None or new is None:
-                continue
+        base_fields = timing_fields(base_kernels[kernel])
+        fresh_fields = timing_fields(fresh_kernels[kernel])
+        vanished = sorted(base_fields - fresh_fields)
+        if vanished:
+            print(f"error: fresh {kernel} is missing timing lanes {vanished}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for field in sorted(fresh_fields - base_fields):
+            print(f"warning: {kernel}.{field} is new (not in baseline); "
+                  "skipped — refresh the baseline to start gating it",
+                  file=sys.stderr)
+        for field in sorted(base_fields & fresh_fields):
+            base = base_kernels[kernel][field]
+            new = fresh_kernels[kernel][field]
             if base <= 0:
                 print(f"warning: baseline {kernel}.{field} is {base}; skipped",
                       file=sys.stderr)

@@ -18,16 +18,24 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 "$BUILD"/tests/support_test --gtest_filter='ThreadPool.*:KernelExec.*'
 "$BUILD"/tests/par_test
+# The blocked parallel deposit (DESIGN.md §2g) above the candidate cutoff:
+# per-block scatter buffers + ascending-block reduction on real kernel
+# lanes. The solver-level suites stay below the cutoff, so this unit test
+# is the only TSan coverage of the deposit's phase-A/phase-B threading.
+"$BUILD"/tests/pic_test --gtest_filter='Deposit.*'
 # Intra-rank kernel chunking first (real threads inside move/collide/
-# react/deposit), then the full harness including both levels at once.
+# react/deposit), then the sorted-traversal suite (periodic cell sort
+# composed with threaded exec + kernel lanes, DESIGN.md §2g), then the
+# full harness including both levels at once.
 "$BUILD"/tests/determinism_test --gtest_filter='KernelThreads.*'
+"$BUILD"/tests/determinism_test --gtest_filter='SortDeterminism.*'
 "$BUILD"/tests/determinism_test
 # Tracing claims driver-thread-only recording (DESIGN.md §2e); the
 # determinism suite runs trace-enabled solves over the threaded backend,

@@ -18,7 +18,9 @@ namespace dsmcpic::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x44534d435049434bULL;  // "DSMCPICK"
-constexpr std::uint32_t kVersion = 1;
+// v2: ParticleStore serializes per-component (SoA) position/velocity arrays
+// instead of two Vec3 arrays.
+constexpr std::uint32_t kVersion = 2;
 
 /// A cheap fingerprint of the configuration pieces that must match between
 /// the saving and restoring solver.

@@ -57,6 +57,14 @@ struct SolverConfig {
 
   std::uint64_t seed = 42;
 
+  /// Periodic cell sort (DESIGN.md §2g): every `sort_every` DSMC steps each
+  /// rank's particle store is reordered cell-major (stable counting sort) so
+  /// collide/deposit traversals stream memory linearly. 0 disables. Pure
+  /// memory-layout work: results, digests and virtual clocks are
+  /// bit-identical for ANY value, and like kernel_threads it is not part of
+  /// the checkpoint fingerprint.
+  int sort_every = 0;
+
   /// Deliberate corruption for auditor tests; kNone outside of tests.
   FaultInjection fault = FaultInjection::kNone;
 

@@ -64,6 +64,7 @@ void CoupledSolver::init() {
   cell_index_.resize(nranks);
   collide_scratch_.resize(nranks);
   deposit_scratch_.resize(nranks);
+  sort_scratch_.resize(nranks);
 
   inject_h_ = std::make_unique<dsmc::MaxwellianInjector>(
       coarse_, mesh::BoundaryKind::kInlet,
@@ -219,9 +220,21 @@ void CoupledSolver::do_reindex() {
       rt_->exscan_sum(phases::kReindex, counts);
   rt_->superstep(phases::kReindex, [&](par::Comm& c) {
     const int r = c.rank();
+    // Canonical cell-major renumbering: ids are assigned by ascending coarse
+    // cell, ascending PREVIOUS id within each cell (CellIndex sorts its
+    // per-cell lists by id). Previous ids are canonical by induction —
+    // injector ids are (facet, sequence), spawned-ion ids come from
+    // per-(cell, step) streams drawn in canonical collide order — so the
+    // new ids, and every id-keyed RNG stream downstream (diffuse wall
+    // reflection), do not depend on the store's memory layout, i.e. on
+    // whether or when the periodic cell sort ran.
+    dsmc::CellIndex& index = cell_index_[r];
+    index.rebuild(stores_[r], coarse_.num_tets());
     auto ids = stores_[r].ids();
-    for (std::size_t i = 0; i < ids.size(); ++i)
-      ids[i] = offsets[r] + static_cast<std::int64_t>(i);
+    std::int64_t next = offsets[r];
+    for (std::int32_t cell = 0; cell < coarse_.num_tets(); ++cell)
+      for (const std::int32_t p : index.particles_in(cell)) ids[p] = next++;
+    DSMCPIC_CHECK(next == offsets[r] + counts[r]);
     c.charge(par::WorkKind::kReindex, static_cast<double>(ids.size()));
   });
 }
@@ -231,8 +244,22 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
     std::int64_t collisions = 0, ionizations = 0, recombinations = 0;
   };
   std::vector<RankStats> per_rank(pcfg_.nranks);
+  // Periodic cell sort (DESIGN.md §2g): reorder each store cell-major so the
+  // collide/deposit traversals stream memory linearly. The sort only changes
+  // memory layout — traversal semantics are owned by CellIndex, whose
+  // per-cell lists are canonicalized by particle id — so every observable is
+  // bit-identical for any sort_every. Layout work has no physical analogue,
+  // so it charges no virtual time (wall-clock cost is visible via the "sort"
+  // host-profiler scope and a trace instant).
+  const bool sorted =
+      cfg_.sort_every > 0 && step_ % cfg_.sort_every == 0;
   rt_->superstep(phases::kColliReact, [&](par::Comm& c) {
     const int r = c.rank();
+    if (sorted) {
+      const obs::HostProfiler::Scope prof(prof_, "sort");
+      stores_[r].sort_by_cell(coarse_.num_tets(), sort_scratch_[r],
+                              removed_[r]);
+    }
     dsmc::CellIndex& index = cell_index_[r];
     index.rebuild(stores_[r], coarse_.num_tets());
     dsmc::CollisionStats cs;
@@ -263,6 +290,10 @@ void CoupledSolver::do_colli_react(StepDiagnostics& diag) {
   // Each ionization appended one H+ to a store; recombination flags are
   // consumed by the next exchange (counted there via flagged_count).
   if (auditor_) auditor_->on_spawned(diag.ionizations);
+  if (sorted)
+    if (trace::TraceRecorder* tr = rt_->tracer())
+      tr->add_instant(-1, "sort @ step " + std::to_string(step_),
+                      rt_->total_time());
 }
 
 void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
@@ -273,8 +304,8 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
     const int r = c.rank();
     const obs::HostProfiler::Scope prof(prof_, "move");
     auto& store = stores_[r];
-    auto pos = store.positions();
-    auto vel = store.velocities();
+    auto px = store.px(), py = store.py(), pz = store.pz();
+    auto vx = store.vx(), vy = store.vy(), vz = store.vz();
     auto cells = store.cells();
     auto spec = store.species();
     auto ids = store.ids();
@@ -291,7 +322,8 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
         const dsmc::Species& sp = species_[spec[i]];
         if (!sp.charged()) continue;
         // Gather E from the previous timestep's field (paper Sec. III-B).
-        const std::int32_t fc = fine_->locate(cells[i], pos[i]);
+        Vec3 pos{px[i], py[i], pz[i]};
+        const std::int32_t fc = fine_->locate(cells[i], pos);
         if (fc < 0) {
           removed_[r][i] = 1;
           ++chunk_lost[ch];
@@ -299,12 +331,19 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
         }
         const Vec3 e = pic::efield_in_cell(*fine_, fc, nodex_->rank_nodes(r),
                                            phi_local_[r]);
-        vel[i] = pic::boris_push(vel[i], e, cfg_.magnetic_field,
-                                 sp.charge / sp.mass, dt);
+        Vec3 vel = pic::boris_push({vx[i], vy[i], vz[i]}, e,
+                                   cfg_.magnetic_field, sp.charge / sp.mass,
+                                   dt);
         ++chunk_pushed[ch];
-        if (!mover_->move_one(pos[i], vel[i], cells[i], spec[i], ids[i], dt,
+        if (!mover_->move_one(pos, vel, cells[i], spec[i], ids[i], dt,
                               pic_step, chunk_st[ch]))
           removed_[r][i] = 1;
+        px[i] = pos.x;
+        py[i] = pos.y;
+        pz[i] = pos.z;
+        vx[i] = vel.x;
+        vy[i] = vel.y;
+        vz[i] = vel.z;
       }
     });
     dsmc::MoveStats st;
@@ -366,14 +405,14 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
     // particle order differs from the scatter order, hence the rel tol.
     double expected = 0.0;
     for (int r = 0; r < pcfg_.nranks; ++r) {
-      const auto pos = stores_[r].positions();
-      const auto cells = stores_[r].cells();
-      const auto spec = stores_[r].species();
-      for (std::size_t i = 0; i < stores_[r].size(); ++i) {
+      const auto& store = stores_[r];
+      const auto cells = store.cells();
+      const auto spec = store.species();
+      for (std::size_t i = 0; i < store.size(); ++i) {
         if (removed_[r][i]) continue;
         const dsmc::Species& sp = species_[spec[i]];
         if (!sp.charged()) continue;
-        if (fine_->locate(cells[i], pos[i]) < 0) continue;
+        if (fine_->locate(cells[i], store.position(i)) < 0) continue;
         expected += sp.charge * sp.fnum;
       }
     }

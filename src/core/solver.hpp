@@ -97,6 +97,8 @@ class CoupledSolver {
 
   std::vector<std::int64_t> particles_per_rank() const;
   std::int64_t total_particles() const;
+  /// Read-only view of the per-rank particle stores (inspection/tests).
+  const std::vector<dsmc::ParticleStore>& stores() const { return stores_; }
   /// Global electric potential on fine-grid nodes (last solve).
   const std::vector<double>& potential() const { return phi_global_; }
 
@@ -176,6 +178,7 @@ class CoupledSolver {
   std::vector<dsmc::CellIndex> cell_index_;          // per rank, rebuilt
   std::vector<dsmc::CollideScratch> collide_scratch_;
   std::vector<pic::DepositScratch> deposit_scratch_;
+  std::vector<dsmc::SortScratch> sort_scratch_;      // periodic cell sort
 
   std::unique_ptr<dsmc::MaxwellianInjector> inject_h_;
   std::unique_ptr<dsmc::MaxwellianInjector> inject_hplus_;

@@ -21,8 +21,8 @@ bool Chemistry::try_ionization(Rng& rng, const ParticleStore& store,
   // The record is buffered rather than appended, so cell chunks running
   // concurrently never grow the store mid-sweep.
   ParticleRecord ion;
-  ion.position = store.positions()[i];
-  ion.velocity = store.velocities()[i];
+  ion.position = store.position(i);
+  ion.velocity = store.velocity(i);
   ion.species = kSpeciesHPlus;
   ion.cell = store.cells()[i];
   // Random id: ids only need uniqueness until the next Reindex renumbering.
@@ -48,7 +48,7 @@ bool Chemistry::try_charge_exchange(Rng& rng, ParticleStore& store,
   // created from the neutral population, so it adopts the neutral's
   // velocity. The neutral super-particle is left unchanged — the fast
   // neutrals created are a negligible fraction of its (much larger) weight.
-  store.velocities()[ion] = store.velocities()[neutral];
+  store.set_velocity(ion, store.velocity(neutral));
   ++stats.charge_exchanges;
   return true;
 }

@@ -54,18 +54,84 @@ CollisionKernel::CollisionKernel(const mesh::TetMesh& grid,
   }
 }
 
+namespace {
+// Chunk-plan sizing: a few chunks per lane absorbs residual imbalance the
+// weight model misses; the cap bounds the fixed per-chunk stat arrays.
+constexpr int kCollideChunksPerLane = 4;
+constexpr int kMaxCollideChunks = 64;
+}  // namespace
+
+int CollisionKernel::plan_chunks(const ParticleStore& store,
+                                 const CellIndex& index,
+                                 std::span<const std::int32_t> my_cells,
+                                 double dt, int threads,
+                                 CollideScratch& scr) const {
+  const std::int64_t ncells = static_cast<std::int64_t>(my_cells.size());
+  if (ncells < threads || threads < 2) return 1;
+  const int want = std::min(kMaxCollideChunks, threads * kCollideChunksPerLane);
+
+  // Measured per-cell cost: the sweep's own expected-candidate expression,
+  // evaluated read-only (the carry is NOT consumed here).
+  scr.weight.resize(static_cast<std::size_t>(ncells));
+  const auto species = store.species();
+  double total = 0.0;
+  for (std::int64_t ci = 0; ci < ncells; ++ci) {
+    const std::int32_t cell = my_cells[ci];
+    const auto parts = index.particles_in(cell);
+    const auto np = static_cast<std::int64_t>(parts.size());
+    double w = 0.0;
+    if (np >= 2) {
+      double fnum_sum = 0.0;
+      for (std::int32_t p : parts) fnum_sum += (*table_)[species[p]].fnum;
+      const double fnum_mean = fnum_sum / static_cast<double>(np);
+      w = 0.5 * static_cast<double>(np) * static_cast<double>(np - 1) *
+              fnum_mean * sigma_cr_max_[cell] * dt / grid_->volume(cell) +
+          candidate_carry_[cell];
+      w = std::max(w, 0.0);
+    }
+    scr.weight[static_cast<std::size_t>(ci)] = w;
+    total += w;
+  }
+  if (!(total > 0.0)) return 1;
+
+  // Greedy prefix split at the weight targets; a chunk always takes at
+  // least one cell, so bounds are strictly increasing (no empty chunks).
+  scr.bounds.clear();
+  scr.bounds.push_back(0);
+  double acc = 0.0;
+  int k = 1;
+  for (std::int64_t ci = 0; ci < ncells && k < want; ++ci) {
+    acc += scr.weight[static_cast<std::size_t>(ci)];
+    if (acc >= total * static_cast<double>(k) / static_cast<double>(want) &&
+        ci + 1 < ncells) {
+      scr.bounds.push_back(ci + 1);
+      ++k;
+    }
+  }
+  scr.bounds.push_back(ncells);
+  const int nc = static_cast<int>(scr.bounds.size()) - 1;
+  // Serial fallback: a plan that cannot give every lane its own chunk
+  // loses to dispatch overhead (the kt2 regression this replaces).
+  return nc < threads ? 1 : nc;
+}
+
 CollisionStats CollisionKernel::collide_cells(
     ParticleStore& store, const CellIndex& index,
     std::span<const std::int32_t> my_cells, double dt, int step,
     const support::KernelExec* exec, CollideScratch* scratch) {
   const std::int64_t ncells = static_cast<std::int64_t>(my_cells.size());
-  const int nc = (exec && !exec->serial()) ? exec->num_chunks(ncells) : 1;
   CollideScratch local;
   CollideScratch& scr = scratch ? *scratch : local;
+  const int nc = (exec && !exec->serial())
+                     ? plan_chunks(store, index, my_cells, dt,
+                                   exec->threads(), scr)
+                     : 1;
   if (scr.spawned.size() < static_cast<std::size_t>(nc))
     scr.spawned.resize(static_cast<std::size_t>(nc));
   for (auto& buf : scr.spawned) buf.clear();
 
+  const auto species = store.species();
+  auto vx = store.vx(), vy = store.vy(), vz = store.vz();
   const auto collide_range = [&](std::int64_t begin, std::int64_t end,
                                  CollisionStats& stats,
                                  ChemistryStats& chem_stats,
@@ -79,8 +145,7 @@ CollisionStats CollisionKernel::collide_cells(
       // Mean scaling factor of the particles in the cell (mixed-species NTC
       // simplification; see DESIGN.md).
       double fnum_sum = 0.0;
-      for (std::int32_t p : parts)
-        fnum_sum += (*table_)[store.species()[p]].fnum;
+      for (std::int32_t p : parts) fnum_sum += (*table_)[species[p]].fnum;
       const double fnum_mean = fnum_sum / static_cast<double>(np);
 
       const double volume = grid_->volume(cell);
@@ -106,10 +171,10 @@ CollisionStats CollisionKernel::collide_cells(
         auto pj = parts[rng.uniform_index(static_cast<std::uint64_t>(np))];
         if (pi == pj) continue;
 
-        const auto si = store.species()[pi];
-        const auto sj = store.species()[pj];
-        const Vec3 vi = store.velocities()[pi];
-        const Vec3 vj = store.velocities()[pj];
+        const auto si = species[pi];
+        const auto sj = species[pj];
+        const Vec3 vi{vx[pi], vy[pi], vz[pi]};
+        const Vec3 vj{vx[pj], vy[pj], vz[pj]};
         const Vec3 rel = vi - vj;
         const double c_r = rel.norm();
         if (c_r <= 0.0) continue;
@@ -141,8 +206,14 @@ CollisionStats CollisionKernel::collide_cells(
         const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
         const double phi = 2.0 * M_PI * rng.uniform();
         const Vec3 dir{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
-        store.velocities()[pi] = v_cm + dir * (c_r * mb / (ma + mb));
-        store.velocities()[pj] = v_cm - dir * (c_r * ma / (ma + mb));
+        const Vec3 vpi = v_cm + dir * (c_r * mb / (ma + mb));
+        const Vec3 vpj = v_cm - dir * (c_r * ma / (ma + mb));
+        vx[pi] = vpi.x;
+        vy[pi] = vpi.y;
+        vz[pi] = vpi.z;
+        vx[pj] = vpj.x;
+        vy[pj] = vpj.y;
+        vz[pj] = vpj.z;
       }
     }
   };
@@ -155,11 +226,12 @@ CollisionStats CollisionKernel::collide_cells(
     // Cells are disjoint between chunks (majorant, carry, RNG stream and
     // partner velocities are all per-cell); per-chunk stats and spawn
     // buffers are merged in chunk order below, which equals cell order —
-    // exactly the serial sequence.
-    std::array<CollisionStats, 64> cstats{};
-    std::array<ChemistryStats, 64> cchem{};
-    exec->for_chunks(ncells, [&](int c, std::int64_t begin, std::int64_t end) {
-      collide_range(begin, end, cstats[c], cchem[c], scr.spawned[c]);
+    // exactly the serial sequence, for ANY chunk boundaries the plan picks.
+    std::array<CollisionStats, kMaxCollideChunks> cstats{};
+    std::array<ChemistryStats, kMaxCollideChunks> cchem{};
+    exec->for_tasks(nc, [&](int c) {
+      collide_range(scr.bounds[c], scr.bounds[c + 1], cstats[c], cchem[c],
+                    scr.spawned[c]);
     });
     for (int c = 0; c < nc; ++c) {
       stats.candidates += cstats[c].candidates;

@@ -37,11 +37,14 @@ struct CollisionStats {
 double vhs_cross_section(const Species& a, const Species& b, double c_r);
 
 /// Reusable per-rank scratch for collide_cells: one spawned-ion buffer per
-/// chunk, merged into the store in chunk (= cell) order after the sweep.
-/// Capacities persist across steps so chunking allocates nothing in steady
-/// state.
+/// chunk (merged into the store in chunk = cell order after the sweep),
+/// plus the per-cell candidate weights and chunk boundaries of the
+/// cost-balanced chunk plan. Capacities persist across steps so chunking
+/// allocates nothing in steady state.
 struct CollideScratch {
   std::vector<std::vector<ParticleRecord>> spawned;
+  std::vector<double> weight;        // expected NTC candidates per cell
+  std::vector<std::int64_t> bounds;  // chunk boundaries into my_cells
 };
 
 class CollisionKernel {
@@ -52,10 +55,14 @@ class CollisionKernel {
   /// Performs NTC collisions (and reactions) in each cell of `my_cells`.
   /// `index` must be freshly built for `store`. New particles appended by
   /// chemistry are NOT collision partners this step (standard practice).
-  /// With `exec`, the cell list is chunked across its kernel pool; every
-  /// per-cell quantity (majorant, carry, RNG stream) is keyed by cell, so
-  /// the result is identical to serial for any chunk count. `scratch`
-  /// (optional) carries the spawn buffers across steps.
+  /// With `exec`, the cell list is split into contiguous chunks sized by
+  /// the measured per-cell expected candidate counts (so one dense cell
+  /// block cannot serialize the sweep), and dispatch falls back to a
+  /// single inline chunk when the balanced plan cannot cover the thread
+  /// pool — small chunk counts lose to pool dispatch overhead outright.
+  /// Every per-cell quantity (majorant, carry, RNG stream) is keyed by
+  /// cell, so the result is bit-identical to serial for ANY chunk plan.
+  /// `scratch` (optional) carries the spawn/plan buffers across steps.
   CollisionStats collide_cells(ParticleStore& store, const CellIndex& index,
                                std::span<const std::int32_t> my_cells,
                                double dt, int step,
@@ -82,6 +89,18 @@ class CollisionKernel {
   void load(std::istream& is);
 
  private:
+  /// Cost-balanced chunk plan: fills scr.bounds with a contiguous partition
+  /// of my_cells whose chunks carry roughly equal expected NTC candidate
+  /// counts (0.5 n(n-1) fnum_mean majorant dt / V + carry per cell — the
+  /// same expression the sweep evaluates, read-only). Returns the chunk
+  /// count; 1 means "run serial" (the balanced plan could not produce at
+  /// least one chunk per thread, so pool dispatch would only add overhead).
+  /// Chunk boundaries never affect results — cells are independent — so
+  /// the plan may depend on the thread count freely.
+  int plan_chunks(const ParticleStore& store, const CellIndex& index,
+                  std::span<const std::int32_t> my_cells, double dt,
+                  int threads, CollideScratch& scr) const;
+
   /// Per-species-pair VHS constants, precomputed so the hot loop avoids
   /// std::tgamma and the pair-parameter averaging per candidate.
   struct VhsPair {

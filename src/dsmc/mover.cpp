@@ -78,8 +78,8 @@ MoveStats Mover::move_all(ParticleStore& store, double dt, int step,
                           std::span<std::uint8_t> removed, MoveFilter filter,
                           const support::KernelExec* exec) const {
   DSMCPIC_CHECK(removed.size() == store.size());
-  auto pos = store.positions();
-  auto vel = store.velocities();
+  auto px = store.px(), py = store.py(), pz = store.pz();
+  auto vx = store.vx(), vy = store.vy(), vz = store.vz();
   auto cells = store.cells();
   auto species = store.species();
   auto ids = store.ids();
@@ -90,9 +90,16 @@ MoveStats Mover::move_all(ParticleStore& store, double dt, int step,
       const bool charged = (*table_)[species[i]].charged();
       if (filter == MoveFilter::kNeutralOnly && charged) continue;
       if (filter == MoveFilter::kChargedOnly && !charged) continue;
-      if (!move_one(pos[i], vel[i], cells[i], species[i], ids[i], dt, step,
-                    stats))
+      Vec3 pos{px[i], py[i], pz[i]};
+      Vec3 vel{vx[i], vy[i], vz[i]};
+      if (!move_one(pos, vel, cells[i], species[i], ids[i], dt, step, stats))
         removed[i] = 1;
+      px[i] = pos.x;
+      py[i] = pos.y;
+      pz[i] = pos.z;
+      vx[i] = vel.x;
+      vy[i] = vel.y;
+      vz[i] = vel.z;
     }
   };
   const std::int64_t n = static_cast<std::int64_t>(store.size());

@@ -23,13 +23,14 @@ void CellSampler::sample(const ParticleStore& store) {
 void CellSampler::accumulate(const ParticleStore& store) {
   const auto cells = store.cells();
   const auto species = store.species();
-  const auto vel = store.velocities();
+  const auto vx = store.vx(), vy = store.vy(), vz = store.vz();
   for (std::size_t i = 0; i < store.size(); ++i) {
     const auto s = static_cast<std::size_t>(species[i]);
     const auto c = static_cast<std::size_t>(cells[i]);
+    const Vec3 v{vx[i], vy[i], vz[i]};
     count_[s][c] += 1.0;
-    vel_sum_[s][c] += vel[i];
-    vel2_sum_[s][c] += vel[i].norm2();
+    vel_sum_[s][c] += v;
+    vel2_sum_[s][c] += v.norm2();
   }
 }
 

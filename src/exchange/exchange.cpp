@@ -1,5 +1,6 @@
 #include "exchange/exchange.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "support/error.hpp"
@@ -15,6 +16,18 @@ using dsmc::ParticleStore;
 /// owned by another rank; drops particles flagged as removed. Returns the
 /// number of pre-flagged (dead) particles dropped; the extracted records
 /// are grouped per destination in `outgoing`.
+///
+/// Each destination batch is canonicalized by ascending particle id before
+/// it ships. Without this a batch inherits the SOURCE store's iteration
+/// order, which is memory-layout history (it differs between cell-sorted
+/// and unsorted runs, DESIGN.md §2g) — so message payloads, and the
+/// receiver's store layout, would depend on the sender's layout. Per-cell
+/// traversal semantics are already layout-independent (CellIndex
+/// canonicalizes by id), so this sort is about keeping the wire format and
+/// the delivered append order deterministic functions of the particle SET.
+/// Ids are unique per step (reindex reassigns them globally; spawned-ion
+/// ids are 63-bit draws, collision odds ~N/2^63); the stable sort pins any
+/// tie to source order.
 std::int64_t extract_outgoing(ParticleStore& store,
                               std::vector<std::uint8_t>& removed,
                               std::span<const std::int32_t> cell_owner,
@@ -33,6 +46,11 @@ std::int64_t extract_outgoing(ParticleStore& store,
     outgoing[dest].push_back(store.record(i));
     removed[i] = 1;  // reuse the flag to drop it in the compaction below
   }
+  for (auto& [dest, recs] : outgoing)
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const ParticleRecord& a, const ParticleRecord& b) {
+                       return a.id < b.id;
+                     });
   store.remove_flagged(removed);
   removed.assign(store.size(), 0);
   return dropped;

@@ -24,6 +24,7 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   w.kv("exec_mode", report.config.exec_mode);
   w.kv("exec_threads", report.config.exec_threads);
   w.kv("kernel_threads", report.config.kernel_threads);
+  w.kv("sort_every", report.config.sort_every);
   w.kv("strategy", report.config.strategy);
   w.kv("balance", report.config.balance);
   w.kv("audit", report.config.audit_severity);

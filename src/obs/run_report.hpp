@@ -47,6 +47,7 @@ struct RunReportConfig {
   std::string exec_mode;
   int exec_threads = 0;
   int kernel_threads = 0;
+  int sort_every = 0;  // periodic cell-sort interval (0 = never)
   std::string strategy;
   bool balance = false;
   std::string audit_severity;  // "off" when no auditor was attached

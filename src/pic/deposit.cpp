@@ -1,12 +1,20 @@
 #include "pic/deposit.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "support/error.hpp"
 
 namespace dsmcpic::pic {
 
 namespace {
+
+// Fixed block count of the deterministic reduction. Chosen as a function of
+// the candidate count ALONE (never the thread count), so the floating-point
+// grouping is invariant across executors; 16 blocks keep any realistic
+// kernel pool busy while the per-block node buffers stay cache-resident.
+constexpr int kDepositBlocks = 16;
+constexpr std::int64_t kDepositBlockCutoff = 4096;
 
 std::int32_t local_of(std::span<const std::int32_t> sorted_nodes,
                       std::int32_t g) {
@@ -28,74 +36,123 @@ DepositStats deposit_charge(const dsmc::ParticleStore& store,
                             DepositScratch* scratch) {
   DSMCPIC_CHECK(node_charge.size() == sorted_nodes.size());
   DepositStats stats;
-  const auto positions = store.positions();
+  const auto px = store.px();
+  const auto py = store.py();
+  const auto pz = store.pz();
   const auto cells = store.cells();
   const auto species = store.species();
   const mesh::TetMesh& fine = grid.fine();
   const std::int64_t n = static_cast<std::int64_t>(store.size());
 
-  if (!exec || exec->serial() || !scratch) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (!removed.empty() && removed[i]) continue;
-      const dsmc::Species& sp = table[species[i]];
-      if (!sp.charged()) continue;
-      const std::int32_t fc = grid.locate(cells[i], positions[i]);
-      if (fc < 0) {
-        ++stats.lost;
-        continue;
-      }
-      const auto w = fine.barycentric(fc, positions[i]);
-      const double q = sp.charge * sp.fnum;
-      const auto& nd = fine.tet(fc);
-      for (int k = 0; k < 4; ++k)
-        node_charge[local_of(sorted_nodes, nd[k])] += q * w[k];
-      ++stats.deposited;
+  DepositScratch local;
+  DepositScratch& scr = scratch ? *scratch : local;
+
+  // Cell-major traversal order over the deposit candidates (charged, not
+  // removed): counting-sort by coarse cell, then ascending particle id
+  // within each cell. The id sort matters: store slots are layout history
+  // (intra-rank cell changes keep their old slot), so slot order within a
+  // cell differs between sorted and unsorted runs — ids do not. With it,
+  // the traversal and every floating-point grouping derived from it below
+  // are invariant across executors and sort-every settings.
+  const std::int32_t num_cells = grid.coarse().num_tets();
+  const auto ids = store.ids();
+  const auto candidate = [&](std::int64_t i) {
+    if (!removed.empty() && removed[i]) return false;
+    return table[species[i]].charged();
+  };
+  scr.start.assign(static_cast<std::size_t>(num_cells) + 1, 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!candidate(i)) continue;
+    DSMCPIC_CHECK(cells[i] >= 0 && cells[i] < num_cells);
+    ++scr.start[static_cast<std::size_t>(cells[i]) + 1];
+  }
+  for (std::size_t c = 1; c < scr.start.size(); ++c)
+    scr.start[c] += scr.start[c - 1];
+  const std::int64_t m = scr.start.back();
+  if (m == 0) return stats;
+  scr.cursor.assign(scr.start.begin(), scr.start.end() - 1);
+  scr.order.resize(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < n; ++i)
+    if (candidate(i))
+      scr.order[static_cast<std::size_t>(scr.cursor[cells[i]]++)] =
+          static_cast<std::int32_t>(i);
+  for (std::int32_t c = 0; c < num_cells; ++c)
+    std::stable_sort(scr.order.begin() + scr.start[c],
+                     scr.order.begin() + scr.start[c + 1],
+                     [&ids](std::int32_t a, std::int32_t b) {
+                       return ids[a] < ids[b];
+                     });
+
+  const auto scatter_one = [&](std::int32_t i, std::span<double> acc,
+                               DepositStats& out) {
+    const Vec3 pos{px[i], py[i], pz[i]};
+    const std::int32_t fc = grid.locate(cells[i], pos);
+    if (fc < 0) {
+      ++out.lost;
+      return;
     }
+    const auto w = fine.barycentric(fc, pos);
+    const dsmc::Species& sp = table[species[i]];
+    const double q = sp.charge * sp.fnum;
+    const auto& nd = fine.tet(fc);
+    for (int k = 0; k < 4; ++k)
+      acc[static_cast<std::size_t>(local_of(sorted_nodes, nd[k]))] += q * w[k];
+    ++out.deposited;
+  };
+
+  const int nblocks = (m >= kDepositBlockCutoff) ? kDepositBlocks : 1;
+  if (nblocks == 1) {
+    for (std::int64_t t = 0; t < m; ++t)
+      scatter_one(scr.order[static_cast<std::size_t>(t)], node_charge, stats);
     return stats;
   }
 
-  // Phase 1 (parallel): per-particle contributions into disjoint scratch
-  // slots. Phase 2 (serial): scatter in particle order, so the accumulation
-  // order — and every bit of node_charge — matches the single-pass loop.
-  auto& entries = scratch->entries;
-  if (entries.size() < static_cast<std::size_t>(n))
-    entries.resize(static_cast<std::size_t>(n));
-  exec->for_chunks(n, [&](int, std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      DepositScratch::Entry& e = entries[i];
-      if (!removed.empty() && removed[i]) {
-        e.status = 0;
-        continue;
-      }
-      const dsmc::Species& sp = table[species[i]];
-      if (!sp.charged()) {
-        e.status = 0;
-        continue;
-      }
-      const std::int32_t fc = grid.locate(cells[i], positions[i]);
-      if (fc < 0) {
-        e.status = 2;
-        continue;
-      }
-      const auto w = fine.barycentric(fc, positions[i]);
-      const double q = sp.charge * sp.fnum;
-      const auto& nd = fine.tet(fc);
-      for (int k = 0; k < 4; ++k) {
-        e.node[k] = local_of(sorted_nodes, nd[k]);
-        e.val[k] = q * w[k];
-      }
-      e.status = 1;
+  // Phase A: each block scatters its contiguous slice of the traversal into
+  // a private node buffer. Block boundaries are an arithmetic split of the
+  // candidate count; they need not align to cell boundaries because the
+  // within-block accumulation order is position in `order`, not cell.
+  const std::size_t nnodes = node_charge.size();
+  scr.block_charge.resize(static_cast<std::size_t>(nblocks) * nnodes);
+  std::array<DepositStats, kDepositBlocks> bstats{};
+  const auto run_block = [&](int b) {
+    const std::int64_t begin = m * b / nblocks;
+    const std::int64_t end = m * (b + 1) / nblocks;
+    const std::span<double> acc(
+        scr.block_charge.data() + static_cast<std::size_t>(b) * nnodes, nnodes);
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::int64_t t = begin; t < end; ++t)
+      scatter_one(scr.order[static_cast<std::size_t>(t)], acc, bstats[b]);
+  };
+  if (exec) {
+    exec->for_tasks(nblocks, run_block);
+  } else {
+    for (int b = 0; b < nblocks; ++b) run_block(b);
+  }
+
+  // Phase B: reduce each node over the blocks in ascending order — a left
+  // fold whose grouping is fixed by (m, nnodes) alone. Nodes are
+  // independent, so the reduction itself may be chunked freely.
+  const auto reduce_range = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t j = begin; j < end; ++j) {
+      double s = node_charge[static_cast<std::size_t>(j)];
+      for (int b = 0; b < nblocks; ++b)
+        s += scr.block_charge[static_cast<std::size_t>(b) * nnodes +
+                              static_cast<std::size_t>(j)];
+      node_charge[static_cast<std::size_t>(j)] = s;
     }
-  });
-  for (std::int64_t i = 0; i < n; ++i) {
-    const DepositScratch::Entry& e = entries[i];
-    if (e.status == 0) continue;
-    if (e.status == 2) {
-      ++stats.lost;
-      continue;
-    }
-    for (int k = 0; k < 4; ++k) node_charge[e.node[k]] += e.val[k];
-    ++stats.deposited;
+  };
+  if (exec && !exec->serial()) {
+    exec->for_chunks(static_cast<std::int64_t>(nnodes),
+                     [&](int, std::int64_t b, std::int64_t e) {
+                       reduce_range(b, e);
+                     });
+  } else {
+    reduce_range(0, static_cast<std::int64_t>(nnodes));
+  }
+
+  for (int b = 0; b < nblocks; ++b) {
+    stats.deposited += bstats[b].deposited;
+    stats.lost += bstats[b].lost;
   }
   return stats;
 }

@@ -3,8 +3,17 @@
 // nodes of its fine-grid cell with linear (barycentric) weights — the
 // "interpolating the particle charge to the grid nodes" step of the paper's
 // PIC cycle (Sec. III-C).
+//
+// Traversal is cell-major (coarse cell ascending, within-cell store order),
+// built from the same counting-sort prefix CellIndex uses, so after the
+// periodic cell sort (DESIGN.md §2g) the scatter streams the store
+// linearly. The accumulation schedule is a FIXED number of contiguous
+// blocks of that traversal, each scattering into its own node buffer,
+// reduced per node in ascending block order — a deterministic tree
+// reduction whose floating-point grouping depends only on the particle
+// population, never on the executor, so node_charge is bit-identical for
+// every kernel-thread count and exec mode.
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -21,15 +30,15 @@ struct DepositStats {
   std::int64_t lost = 0;       // particles whose fine cell could not be found
 };
 
-/// Reusable per-rank scratch for the chunked deposit: one precomputed
-/// contribution slot per particle. Capacity persists across steps.
+/// Reusable per-rank scratch for the blocked deposit: the cell-major
+/// traversal order (counting-sort prefix + permutation) and the per-block
+/// node-accumulation buffers. Capacities persist across steps so the
+/// deposit allocates nothing in steady state.
 struct DepositScratch {
-  struct Entry {
-    std::array<std::int32_t, 4> node;  // local (rank-compact) node indices
-    std::array<double, 4> val;         // q * w[k] per node
-    std::int8_t status;                // 0 skipped, 1 deposited, 2 lost
-  };
-  std::vector<Entry> entries;
+  std::vector<std::int64_t> start;    // per-cell prefix sums
+  std::vector<std::int64_t> cursor;   // fill scratch
+  std::vector<std::int32_t> order;    // cell-major particle traversal
+  std::vector<double> block_charge;   // kDepositBlocks x nnodes accumulators
 };
 
 /// Scatters charge (q * fnum, in coulomb) of all charged particles into
@@ -37,11 +46,11 @@ struct DepositScratch {
 /// (ascending global fine-node ids — see NodeExchange::rank_nodes).
 /// Particles flagged in `removed` are skipped.
 ///
-/// With `exec`, runs in two phases: the per-particle contributions (locate,
-/// barycentric weights, node lookup) are computed in parallel chunks into
-/// `scratch`, then scattered serially in particle order — so the floating
-/// point accumulation order, and hence every bit of `node_charge`, matches
-/// the serial single-pass version.
+/// The blocked schedule is identical with or without `exec` (serial
+/// executors run the same blocks inline, in order), so the result is
+/// bit-identical across serial / kernel-thread configurations; `exec` only
+/// decides whether blocks run concurrently. `scratch` (optional) carries
+/// the traversal and block buffers across steps.
 DepositStats deposit_charge(const dsmc::ParticleStore& store,
                             const FineGrid& grid,
                             const dsmc::SpeciesTable& table,

@@ -23,6 +23,15 @@ int KernelExec::num_chunks(std::int64_t n) const {
   return static_cast<int>(std::min(n, want));
 }
 
+void KernelExec::for_tasks(int ntasks, const std::function<void(int)>& fn) const {
+  if (ntasks <= 0) return;
+  if (serial() || ntasks == 1) {
+    for (int t = 0; t < ntasks; ++t) fn(t);
+    return;
+  }
+  pool_->parallel_for(ntasks, fn);
+}
+
 void KernelExec::for_chunks(
     std::int64_t n,
     const std::function<void(int, std::int64_t, std::int64_t)>& fn) const {

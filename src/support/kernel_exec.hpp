@@ -46,6 +46,15 @@ class KernelExec {
                   const std::function<void(int, std::int64_t, std::int64_t)>&
                       fn) const;
 
+  /// Runs fn(task) for each task in [0, ntasks) — the fixed-task-count
+  /// companion to for_chunks for callers that plan their own partition
+  /// (cost-balanced collide chunks, the deposit's fixed reduction blocks).
+  /// The task count is the caller's: it must NOT depend on the thread
+  /// count when the caller's determinism contract requires a schedule
+  /// that is invariant across kernel-thread settings. Serial executors
+  /// run every task inline, in ascending order, on the calling thread.
+  void for_tasks(int ntasks, const std::function<void(int)>& fn) const;
+
   /// Chunk boundary arithmetic, exposed so tests can assert coverage.
   static std::int64_t chunk_begin(std::int64_t n, int num_chunks, int chunk) {
     return n * chunk / num_chunks;

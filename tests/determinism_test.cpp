@@ -35,7 +35,7 @@ struct RunResult {
 
 RunResult run_solver(par::ExecMode mode, int nranks, int threads,
                      exchange::Strategy strategy, bool balance_enabled,
-                     int steps, int kernel_threads = 1) {
+                     int steps, int kernel_threads = 1, int sort_every = 0) {
   ParallelConfig par;
   par.nranks = nranks;
   par.strategy = strategy;
@@ -44,7 +44,9 @@ RunResult run_solver(par::ExecMode mode, int nranks, int threads,
   par.exec_mode = mode;
   par.exec_threads = threads;
   par.kernel_threads = kernel_threads;
-  CoupledSolver solver(tiny_config(), par);
+  SolverConfig cfg = tiny_config();
+  cfg.sort_every = sort_every;
+  CoupledSolver solver(cfg, par);
   solver.run(steps);
 
   RunResult r;
@@ -180,6 +182,56 @@ TEST(KernelThreads, LaneCountIndependence) {
       run_solver(par::ExecMode::kSequential, 6, 0,
                  exchange::Strategy::kCentralized, /*balance=*/false, 6,
                  /*kernel_threads=*/4);
+  expect_identical(kt2, kt4);
+}
+
+// The periodic cell sort (DESIGN.md §2g) must be invisible in every
+// observable: sorting every step, every 7 steps, or never yields
+// field-identical runs. This exercises the whole invariance chain — stable
+// sort, stable compactions, cell-major reindex ids, order-canonical
+// deposit — over multiple exchanges and rebalances.
+TEST(SortDeterminism, SortIntervalInvariance) {
+  const RunResult never =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/1, /*sort_every=*/0);
+  const RunResult every =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/1, /*sort_every=*/1);
+  const RunResult seven =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/1, /*sort_every=*/7);
+  expect_identical(never, every);
+  expect_identical(every, seven);
+}
+
+// Sorting composed with both parallelism levels: a threaded-exec,
+// kernel-chunked, sorted run must match the serial never-sorted run.
+TEST(SortDeterminism, SortComposesWithBothParallelismLevels) {
+  const RunResult plain =
+      run_solver(par::ExecMode::kSequential, 8, 0,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10);
+  const RunResult sorted_parallel =
+      run_solver(par::ExecMode::kThreaded, 8, 4,
+                 exchange::Strategy::kDistributed, /*balance=*/true, 10,
+                 /*kernel_threads=*/4, /*sort_every=*/3);
+  expect_identical(plain, sorted_parallel);
+}
+
+// Kernel-lane independence on sorted layouts: the cell-major order changes
+// which particles each chunk sees, so 2-vs-4-lane agreement on a sorted
+// store is a distinct claim from the unsorted LaneCountIndependence above.
+TEST(SortDeterminism, SortedLaneCountIndependence) {
+  const RunResult kt2 =
+      run_solver(par::ExecMode::kSequential, 6, 0,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6,
+                 /*kernel_threads=*/2, /*sort_every=*/1);
+  const RunResult kt4 =
+      run_solver(par::ExecMode::kSequential, 6, 0,
+                 exchange::Strategy::kCentralized, /*balance=*/false, 6,
+                 /*kernel_threads=*/4, /*sort_every=*/1);
   expect_identical(kt2, kt4);
 }
 

@@ -179,8 +179,8 @@ TEST(Injector, ParticlesStartInsideTheirCellMovingInward) {
   ASSERT_GT(store.size(), 0u);
   for (std::size_t i = 0; i < store.size(); ++i) {
     const auto cell = store.cells()[i];
-    EXPECT_TRUE(grid.contains(cell, store.positions()[i], 1e-6));
-    EXPECT_GT(store.velocities()[i].z, 0.0);  // inward = +z at the inlet
+    EXPECT_TRUE(grid.contains(cell, store.position(i), 1e-6));
+    EXPECT_GT(store.velocity(i).z, 0.0);  // inward = +z at the inlet
   }
 }
 
@@ -342,8 +342,8 @@ TEST(Collide, MomentumAndEnergyConservedPerCell) {
   Vec3 mom0;
   double e0 = 0.0;
   for (std::size_t i = 0; i < store.size(); ++i) {
-    mom0 += store.velocities()[i];
-    e0 += store.velocities()[i].norm2();
+    mom0 += store.velocity(i);
+    e0 += store.velocity(i).norm2();
   }
   CollisionKernel kernel(grid, table, {}, nullptr);
   const CellIndex index(store, grid.num_tets());
@@ -355,8 +355,8 @@ TEST(Collide, MomentumAndEnergyConservedPerCell) {
   Vec3 mom1;
   double e1 = 0.0;
   for (std::size_t i = 0; i < store.size(); ++i) {
-    mom1 += store.velocities()[i];
-    e1 += store.velocities()[i].norm2();
+    mom1 += store.velocity(i);
+    e1 += store.velocity(i).norm2();
   }
   EXPECT_NEAR((mom1 - mom0).norm(), 0.0, 1e-6 * mom0.norm() + 1e-3);
   EXPECT_NEAR(e1, e0, 1e-9 * e0);
@@ -503,7 +503,7 @@ TEST(Chemistry, ChargeExchangeSwapsIonVelocity) {
   EXPECT_TRUE(chem.try_charge_exchange(rng, store, 1, 0, stats));
   EXPECT_EQ(stats.charge_exchanges, 1);
   // The ion super-particle adopted the (slow) neutral velocity.
-  EXPECT_EQ(store.velocities()[0], Vec3(0, 0, 2e3));
+  EXPECT_EQ(store.velocity(0), Vec3(0, 0, 2e3));
   // Species identities unchanged (weight-consistent CEX).
   EXPECT_EQ(store.species()[0], kSpeciesHPlus);
   EXPECT_EQ(store.species()[1], kSpeciesH);

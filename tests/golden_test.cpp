@@ -46,7 +46,7 @@ SolverConfig tiny_config() {
 
 std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
                          int kernel_threads = 1, bool traced = false,
-                         bool audited = false) {
+                         bool audited = false, int sort_every = 0) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
@@ -55,7 +55,9 @@ std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
   par.kernel_threads = kernel_threads;
   obs::HealthAuditor auditor({obs::AuditSeverity::kAbort});
   obs::HostProfiler prof;
-  CoupledSolver solver(tiny_config(), par);
+  SolverConfig cfg = tiny_config();
+  cfg.sort_every = sort_every;
+  CoupledSolver solver(cfg, par);
   trace::TraceRecorder rec(par.nranks);
   if (traced) solver.runtime().set_tracer(&rec);
   if (audited) {
@@ -146,6 +148,43 @@ TEST(Golden, AuditsEnabledMatchSerialGolden) {
       run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
                  /*kernel_threads=*/1, /*traced=*/false, /*audited=*/true);
   EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// The periodic cell sort (DESIGN.md §2g) is pure memory-layout work: a run
+// that sorts every step must hit the SAME golden value as the never-sorted
+// run. This is the strongest form of the sort's determinism contract —
+// stable permutation + cell-major canonical reindex + order-canonical
+// deposit leave every digest input untouched.
+TEST(Golden, SortEveryStepMatchesUnsortedGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/1);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// An odd sort period composed with kernel threads — both knobs at once must
+// still be invisible (sorting changes the store order the kernels chunk
+// over, so this exercises chunk-boundary independence on sorted layouts).
+TEST(Golden, SortEverySevenWithKernelThreadsMatchesGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/4, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/7);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// Same claim on the centralized-exchange golden (different communication
+// shape feeding the stores between sorts).
+TEST(Golden, SortedCentralizedMatchesUnsortedGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kCentralized, /*balance=*/false,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/2);
+  EXPECT_EQ(got, kGoldenCcUnbalanced)
       << "new digest: 0x" << std::hex << got << "ULL";
 }
 

@@ -13,6 +13,7 @@
 #include "pic/fine_grid.hpp"
 #include "pic/node_exchange.hpp"
 #include "pic/poisson.hpp"
+#include "support/kernel_exec.hpp"
 #include "support/rng.hpp"
 
 namespace dsmcpic::pic {
@@ -196,6 +197,55 @@ TEST(Deposit, TotalChargeConserved) {
   const double expected =
       placed * dsmc::constants::kElementaryCharge * 500.0;
   EXPECT_NEAR(total, expected, 1e-9 * expected);
+}
+
+// The blocked parallel deposit (DESIGN.md §2g): above the candidate-count
+// cutoff the kernel scatters into fixed per-block buffers and reduces them
+// in ascending block order — the node charges must be bit-identical to the
+// serial single-pass scatter, for any lane count. This is the only test
+// that drives the blocked path with real kernel lanes (the solver-level
+// determinism suite stays below the cutoff), so it is also the TSan probe
+// for the deposit's phase-A/phase-B threading.
+TEST(Deposit, BlockedParallelMatchesSerialBitwise) {
+  const Meshes m = make_meshes();
+  const FineGrid fg(m.coarse, m.refined);
+  dsmc::SpeciesTable table = dsmc::SpeciesTable::hydrogen(1e12, 500.0);
+  dsmc::ParticleStore store;
+  Rng rng(31);
+  // Well above kDepositBlockCutoff (4096) so the blocked path engages.
+  while (store.size() < 6000) {
+    const double r = 0.7 * m.spec.radius * std::sqrt(rng.uniform());
+    const double th = 2 * M_PI * rng.uniform();
+    const Vec3 p{r * std::cos(th), r * std::sin(th),
+                 m.spec.length * (0.1 + 0.8 * rng.uniform())};
+    const std::int32_t cc = m.coarse.locate(p, 0);
+    if (cc < 0) continue;
+    dsmc::ParticleRecord rec;
+    rec.position = p;
+    rec.cell = cc;
+    rec.id = static_cast<std::int64_t>(store.size());
+    rec.species = (store.size() % 4) ? dsmc::kSpeciesHPlus : dsmc::kSpeciesH;
+    store.add(rec);
+  }
+  std::vector<std::int32_t> all_nodes(m.refined.mesh.num_nodes());
+  for (std::int32_t n = 0; n < m.refined.mesh.num_nodes(); ++n)
+    all_nodes[n] = n;
+
+  std::vector<double> serial(all_nodes.size(), 0.0);
+  const DepositStats st0 =
+      deposit_charge(store, fg, table, all_nodes, {}, serial);
+  EXPECT_GT(st0.deposited, 4096);
+
+  for (const int lanes : {2, 4}) {
+    const support::KernelExec exec(lanes);
+    DepositScratch scratch;
+    std::vector<double> parallel(all_nodes.size(), 0.0);
+    const DepositStats st = deposit_charge(store, fg, table, all_nodes, {},
+                                           parallel, &exec, &scratch);
+    EXPECT_EQ(st.deposited, st0.deposited);
+    EXPECT_EQ(st.lost, st0.lost);
+    EXPECT_EQ(parallel, serial) << "lanes=" << lanes;
+  }
 }
 
 TEST(Field, LinearPotentialGivesConstantField) {
