@@ -2,11 +2,17 @@
 // MPI processes across 200 PIC timesteps when NO load balancing is used.
 // The paper observes rank 0 (the inlet-side rank) holding 90+% of all
 // particles for the whole run. Also prints the same run with the balancer
-// enabled, to show the contrast that motivates Section V.
+// enabled, to show the contrast that motivates Section V — in two flavors:
+// the paper's fixed-threshold trigger with pure Eq.-7 weights, and the
+// timer-augmented cost model with the look-ahead policy (DESIGN.md §2h).
+// With --out the three lanes land in a JSON consumable by
+// scripts/check_bench_regression.py --require-lanes.
 
 #include <cstdio>
+#include <fstream>
 
 #include "common.hpp"
+#include "trace/json_writer.hpp"
 
 using namespace dsmcpic;
 using bench::BenchOptions;
@@ -36,6 +42,12 @@ void print_distribution(const char* title,
   t.print();
 }
 
+int count_rebalances(const std::vector<core::StepDiagnostics>& history) {
+  int n = 0;
+  for (const auto& d : history) n += d.rebalanced ? 1 : 0;
+  return n;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,13 +55,15 @@ int main(int argc, char** argv) {
       "Fig. 5 — per-rank particle share over 200 PIC steps without load "
       "balance (4 ranks, Dataset 2 analogue)");
   bench::CommonFlags common(cli, "bench_fig05_imbalance", "4", 100);
+  const auto* out = cli.add_string(
+      "out", "", "write the lane timings as JSON to this path");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
   const BenchOptions opt = common.finish();
   const int nranks = opt.ranks.front();
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
 
-  auto run = [&](bool lb) {
+  auto run = [&](bool lb, balance::CostModelKind cm, balance::PolicyKind pk) {
     auto par = bench::make_parallel(ds, nranks, exchange::Strategy::kDistributed,
                                     lb, opt);
     // At 4 ranks the (evenly sharded) Inject phase flattens the lii metric
@@ -58,17 +72,22 @@ int main(int argc, char** argv) {
     // balancer acts on the particle imbalance this figure is about.
     par.balance.threshold = 1.05;
     par.balance.period = 5;
+    par.balance.cost_model.kind = cm;
+    par.balance.policy.kind = pk;
+    par.balance.policy.horizon = opt.horizon;
     return bench::run_case(ds, par, opt);
   };
 
-  const auto without = run(false);
+  const auto without = run(false, balance::CostModelKind::kStatic,
+                           balance::PolicyKind::kThreshold);
   print_distribution("Fig. 5 — particle share per rank, NO load balance",
                      without.history, ds.config.pic_substeps, nranks);
   std::printf(
       "\nPaper shape: the inlet-side rank holds ~90+%% of the particles for "
       "the whole run.\n\n");
 
-  const auto with = run(true);
+  const auto with = run(true, balance::CostModelKind::kStatic,
+                        balance::PolicyKind::kThreshold);
   print_distribution("Contrast — same run WITH the dynamic load balancer",
                      with.history, ds.config.pic_substeps, nranks);
   std::printf("\nTotal virtual time: no-LB %.1f s vs LB %.1f s (%s)\n",
@@ -76,5 +95,53 @@ int main(int argc, char** argv) {
               Table::pct((without.total_time - with.total_time) /
                          without.total_time)
                   .c_str());
+
+  const auto look = run(true, balance::CostModelKind::kTimer,
+                        balance::PolicyKind::kLookahead);
+  std::printf(
+      "Timer cost model + look-ahead (H=%d): %.1f s, %d rebalance(s) vs "
+      "threshold's %d (%s vs threshold lane)\n",
+      opt.horizon, look.total_time, count_rebalances(look.history),
+      count_rebalances(with.history),
+      Table::pct((with.total_time - look.total_time) / with.total_time)
+          .c_str());
+
+  if (!out->empty()) {
+    std::ofstream os(*out, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot open %s\n", out->c_str());
+      return 1;
+    }
+    trace::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "dsmcpic.bench_fig05.v1");
+    w.kv("bench", "bench_fig05_imbalance");
+    w.key("mesh");
+    w.begin_object();
+    w.kv("dataset", 2);
+    w.kv("ranks", nranks);
+    w.kv("steps", opt.steps);
+    w.end_object();
+    w.kv("particles", without.summary.final_particles);
+    w.key("lanes");
+    w.begin_object();
+    auto lane = [&](const char* name, const bench::CaseResult& r) {
+      w.key(name);
+      w.begin_object();
+      w.kv("total_virtual_s", r.total_time);
+      w.kv("rebalances", count_rebalances(r.history));
+      w.end_object();
+    };
+    lane("no_lb", without);
+    lane("threshold_static", with);
+    lane("lookahead_timer", look);
+    w.end_object();
+    w.kv("lookahead_timer_speedup_vs_threshold",
+         with.total_time / look.total_time);
+    w.end_object();
+    w.finish();
+    os << "\n";
+    std::fprintf(stderr, "lanes JSON: %s\n", out->c_str());
+  }
   return 0;
 }

@@ -59,6 +59,16 @@ CommonFlags::CommonFlags(Cli& cli, std::string bench_name,
       "audit", "off",
       "per-step health audits: off | warn | abort | count "
       "(never perturbs results)");
+  cost_model_ = cli.add_string(
+      "cost-model", "static",
+      "balancer weight model: static (pure Eq. 7) | timer | hybrid");
+  policy_ = cli.add_string(
+      "policy", "threshold",
+      "when-to-rebalance policy: threshold | lookahead");
+  horizon_ = cli.add_int(
+      "horizon", 20,
+      "look-ahead horizon in DSMC steps for --policy lookahead "
+      "(0 falls back to the threshold trigger)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -77,6 +87,12 @@ BenchOptions CommonFlags::finish() const {
   o.report_path = *report_;
   o.audit = *audit_;
   if (o.audit != "off") obs::parse_audit_severity(o.audit);  // validate early
+  o.cost_model = *cost_model_;
+  balance::parse_cost_model(o.cost_model);  // validate early
+  o.policy = *policy_;
+  balance::parse_policy(o.policy);
+  o.horizon = static_cast<int>(*horizon_);
+  DSMCPIC_CHECK_MSG(o.horizon >= 0, "--horizon must be >= 0");
   return o;
 }
 
@@ -123,6 +139,9 @@ core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
   par.balance.period = 10;
   par.balance.weight_ratio = ds.config.pic_substeps;
   par.balance.cell_weight = 1.0;
+  par.balance.cost_model.kind = balance::parse_cost_model(opt.cost_model);
+  par.balance.policy.kind = balance::parse_policy(opt.policy);
+  par.balance.policy.horizon = opt.horizon;
   par.particle_scale = ds.paper_particle_scale;
   par.grid_scale = ds.paper_grid_scale;
   par.exec_mode = opt.exec_mode;
@@ -218,6 +237,10 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
     rep.config.strategy = exchange::strategy_name(par.strategy);
     rep.config.balance = par.balance.enabled;
     rep.config.audit_severity = opt.audit;
+    rep.config.cost_model =
+        balance::cost_model_name(par.balance.cost_model.kind);
+    rep.config.policy = balance::policy_name(par.balance.policy.kind);
+    rep.config.horizon = par.balance.policy.horizon;
     rep.total_virtual_time = r.summary.total_time;
     for (std::size_t i = 0; i < r.summary.phase_names.size(); ++i) {
       const par::PhaseStats& st = r.summary.phase_stats[i];
@@ -234,6 +257,11 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
       rep.steps.recombinations += d.recombinations;
       rep.steps.rebalances += d.rebalanced ? 1 : 0;
     }
+    for (const balance::PolicyDecision& d : r.summary.decisions)
+      rep.rebalance_decisions.push_back({d.step, d.lii, d.imbalance_per_step,
+                                         d.projected_imbalance_cost,
+                                         d.rebalance_cost_estimate,
+                                         d.rebalance});
     rep.audit = auditor ? &auditor->report() : nullptr;
     rep.profiler = prof.get();
     const std::string rpath = trace_case_path(opt.report_path, case_index);

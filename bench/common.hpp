@@ -45,6 +45,15 @@ struct BenchOptions {
   // Health audits: "off" or an obs::AuditSeverity name (warn|abort|count).
   // Auditing never perturbs virtual clocks, physics or traces.
   std::string audit = "off";
+  // Balancer weight model: static | timer | hybrid (DESIGN.md §2h).
+  // "static" is the paper's pure Eq.-7 path, bit-identical to before the
+  // cost model existed.
+  std::string cost_model = "static";
+  // When-to-rebalance policy: threshold | lookahead.
+  std::string policy = "threshold";
+  // Look-ahead horizon H in DSMC steps (policy=lookahead; 0 falls back to
+  // the threshold trigger).
+  int horizon = 20;
 
   par::MachineProfile profile() const;
 };
@@ -71,6 +80,9 @@ class CommonFlags {
   const std::string* trace_;
   const std::string* report_;
   const std::string* audit_;
+  const std::string* cost_model_;
+  const std::string* policy_;
+  const std::int64_t* horizon_;
 };
 
 /// Parses argv for a bench binary. Returns false when --help was printed.

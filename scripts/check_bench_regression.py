@@ -21,13 +21,44 @@ on, so growing the bench never requires a lockstep baseline update. A
 kernel or lane present only in the BASELINE, however, vanished from the
 bench and still exits 2.
 
+Lane-presence mode: --require-lanes NAMES (comma-separated) checks that
+the FRESH file contains every named lane and exits without comparing
+against a baseline. A dotted name like "move.parallel_ms" requires that
+timing field under fresh["kernels"]; a bare name like "lookahead_timer"
+requires an entry in fresh["kernels"] or fresh["lanes"] (the schema the
+bench_fig05/fig13 --out files use). CI uses this to fail fast when a
+bench silently stops emitting a lane it is supposed to gate on.
+
+    scripts/check_bench_regression.py BENCH_fig05.json \\
+        --require-lanes no_lb,threshold_static,lookahead_timer
+
 Exit codes: 0 no regression, 1 regression detected, 2 bad input /
-workload mismatch.
+workload mismatch / required lane missing.
 """
 
 import argparse
 import json
 import sys
+
+
+def require_lanes(fresh, names):
+    """Exits 2 unless every named lane/timing exists in the fresh run."""
+    kernels = fresh.get("kernels", {})
+    lanes = fresh.get("lanes", {})
+    missing = []
+    for name in names:
+        if name in kernels or name in lanes:
+            continue  # bare lane names win, even ones containing dots
+        if "." in name:
+            kernel, field = name.split(".", 1)
+            if isinstance(kernels.get(kernel, {}).get(field), (int, float)):
+                continue
+        missing.append(name)
+    if missing:
+        print(f"error: required lane(s) missing from fresh run: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        sys.exit(2)
+    print(f"all {len(names)} required lane(s) present.")
 
 
 def timing_fields(kernel_obj):
@@ -67,10 +98,23 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed relative slowdown per timing "
                          "(default: 0.15 = 15%%)")
+    ap.add_argument("--require-lanes", metavar="NAMES",
+                    help="comma-separated lane names that must exist in "
+                         "FRESH; checks presence only (no baseline "
+                         "comparison) and exits 2 when any is missing")
     args = ap.parse_args()
 
-    baseline = load(args.baseline)
     fresh = load(args.fresh)
+    if args.require_lanes:
+        names = [n.strip() for n in args.require_lanes.split(",") if n.strip()]
+        if not names:
+            print("error: --require-lanes got an empty lane list",
+                  file=sys.stderr)
+            sys.exit(2)
+        require_lanes(fresh, names)
+        return
+
+    baseline = load(args.baseline)
     check_same_workload(baseline, fresh)
 
     base_kernels = baseline.get("kernels", {})

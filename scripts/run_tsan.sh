@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -36,6 +36,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # full harness including both levels at once.
 "$BUILD"/tests/determinism_test --gtest_filter='KernelThreads.*'
 "$BUILD"/tests/determinism_test --gtest_filter='SortDeterminism.*'
+# The timer cost model feeds measured virtual time back into the partition
+# weights (DESIGN.md §2h); its threaded/kernel-lane runs re-read the busy
+# counters on the driver thread between supersteps, so a racy accounting
+# path would surface in this filter before the full harness runs.
+"$BUILD"/tests/determinism_test --gtest_filter='CostModelDeterminism.*'
 "$BUILD"/tests/determinism_test
 # Tracing claims driver-thread-only recording (DESIGN.md §2e); the
 # determinism suite runs trace-enabled solves over the threaded backend,
@@ -46,5 +51,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # runs audited+profiled solves over the threaded backend with kernel
 # threads, so a racy profiler scope or auditor hook would be flagged here.
 "$BUILD"/tests/obs_test
+# The cost-model / rebalance-policy unit battery is single-threaded logic,
+# but TSan instrumentation still exercises its allocation and EWMA paths
+# the same way the solver-level suites consume them.
+"$BUILD"/tests/balance_policy_test
 
 echo "TSan sweep clean."

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "balance/cost_model.hpp"
 #include "balance/hungarian.hpp"
+#include "balance/policy.hpp"
 #include "partition/geometric.hpp"
 #include "par/runtime.hpp"
 #include "partition/graph.hpp"
@@ -42,6 +44,13 @@ struct RebalanceConfig {
   double cell_weight = 1.0;   // W_cell (paper Table VI sweeps 1..10000)
   bool use_km = true;         // KM remap ablation (paper Table V)
   partition::PartitionOptions partition_options;
+  /// Timer-augmented weight model (DESIGN.md §2h). kStatic reproduces the
+  /// pure Eq.-7 path bit-for-bit.
+  CostModelConfig cost_model;
+  /// When-to-rebalance policy. `policy.threshold` is kept in sync with
+  /// `threshold` above by the solver, so the paper's knob stays the single
+  /// source of truth for the baseline trigger.
+  PolicyConfig policy;
 };
 
 struct RebalanceStats {
@@ -71,13 +80,16 @@ std::vector<std::int32_t> km_remap(std::span<const std::int32_t> old_owner,
 /// Runs the re-decomposition half of Algorithm 1 (lines 6-12): computes the
 /// weighted load model, partitions the dual graph on the root, optionally
 /// KM-remaps, and charges/broadcasts everything on `rt` under `phase`.
-/// Returns the new owner array.
+/// Returns the new owner array. When `cell_weights` is non-empty it
+/// replaces the internally computed Eq.-7 weights (the timer/hybrid cost
+/// model's output, see CostModel::cell_weights); empty keeps the static
+/// path bit-identical to the pre-cost-model rebalancer.
 std::vector<std::int32_t> redecompose(
     par::Runtime& rt, const std::string& phase, const partition::Graph& dual,
     std::span<const Vec3> cell_centroids,
     std::span<const std::int64_t> neutral_counts,
     std::span<const std::int64_t> charged_counts,
     std::span<const std::int32_t> current_owner, const RebalanceConfig& cfg,
-    RebalanceStats& stats);
+    RebalanceStats& stats, std::span<const double> cell_weights = {});
 
 }  // namespace dsmcpic::balance

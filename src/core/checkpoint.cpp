@@ -20,7 +20,9 @@ namespace {
 constexpr std::uint64_t kMagic = 0x44534d435049434bULL;  // "DSMCPICK"
 // v2: ParticleStore serializes per-component (SoA) position/velocity arrays
 // instead of two Vec3 arrays.
-constexpr std::uint32_t kVersion = 2;
+// v3: adds the particle-phase busy window, cost-model scales and
+// rebalance-policy state (DESIGN.md §2h).
+constexpr std::uint32_t kVersion = 3;
 
 /// A cheap fingerprint of the configuration pieces that must match between
 /// the saving and restoring solver.
@@ -71,7 +73,11 @@ void CoupledSolver::save_checkpoint(const std::string& path) const {
   io::write_vec(os, prev_total_);
   io::write_vec(os, prev_pm_);
   io::write_vec(os, prev_poi_);
+  io::write_vec(os, prev_particle_);
+  io::write_vec(os, prev_predicted_);
   io::write_pod(os, lb_stats_);
+  cost_model_.save(os);
+  policy_.save(os);
 
   rt_->save(os);
 }
@@ -111,7 +117,11 @@ void CoupledSolver::restore_checkpoint(const std::string& path) {
   prev_total_ = io::read_vec<double>(is);
   prev_pm_ = io::read_vec<double>(is);
   prev_poi_ = io::read_vec<double>(is);
+  prev_particle_ = io::read_vec<double>(is);
+  prev_predicted_ = io::read_vec<double>(is);
   lb_stats_ = io::read_pod<balance::RebalanceStats>(is);
+  cost_model_.load(is);
+  policy_.load(is);
 
   rt_->load(is);
 

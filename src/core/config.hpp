@@ -23,8 +23,11 @@ namespace dsmcpic::core {
 ///  * kDropParticle: silently discards one particle per step right after
 ///    DSMC_Exchange (a leak the particle-books invariant must flag);
 ///  * kSkewDeposit: adds a spurious charge to one node after deposition
-///    (a scatter bug the charge-balance invariant must flag).
-enum class FaultInjection { kNone, kDropParticle, kSkewDeposit };
+///    (a scatter bug the charge-balance invariant must flag);
+///  * kSkewRebalanceCost: inflates the policy's rebalance-cost estimate
+///    1000x before the post-rebalance audit (a broken cost feedback loop
+///    the rebalance-cost invariant must flag).
+enum class FaultInjection { kNone, kDropParticle, kSkewDeposit, kSkewRebalanceCost };
 
 /// Physics + numerics of one simulation case.
 struct SolverConfig {

@@ -100,6 +100,20 @@ void CoupledSolver::init() {
       phases::kDsmcExchange, phases::kPicExchange});
   prev_poi_ =
       rt_->busy_totals(std::array<std::string, 1>{phases::kPoissonSolve});
+  // Particle-proportional phases only: Inject is deliberately excluded —
+  // its work is sharded evenly across ranks (round-robin), so including it
+  // would flatten the measured shares and make heavily loaded cells look
+  // cheaper than they are.
+  prev_particle_ = rt_->busy_totals(
+      std::array<std::string, 3>{phases::kDsmcMove, phases::kColliReact,
+                                 phases::kPicMove});
+
+  cost_model_ = balance::CostModel(pcfg_.balance.cost_model, pcfg_.nranks);
+  // The paper's Threshold knob stays the single source of truth for the
+  // baseline trigger (and the look-ahead's H = 0 fallback).
+  balance::PolicyConfig pc = pcfg_.balance.policy;
+  pc.threshold = pcfg_.balance.threshold;
+  policy_ = balance::RebalancePolicy(pc);
 }
 
 void CoupledSolver::rebuild_parallel_structures(const std::string& phase,
@@ -475,15 +489,23 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
       phases::kDsmcExchange, phases::kPicExchange});
   const std::vector<double> cur_poi =
       rt_->busy_totals(std::array<std::string, 1>{phases::kPoissonSolve});
+  const std::vector<double> cur_particle = rt_->busy_totals(
+      std::array<std::string, 3>{phases::kDsmcMove, phases::kColliReact,
+                                 phases::kPicMove});
   std::vector<double> wt(pcfg_.nranks), wpm(pcfg_.nranks), wpoi(pcfg_.nranks);
+  std::vector<double> wpart(pcfg_.nranks), wcomp(pcfg_.nranks);
   for (int r = 0; r < pcfg_.nranks; ++r) {
     wt[r] = cur_total[r] - prev_total_[r];
     wpm[r] = cur_pm[r] - prev_pm_[r];
     wpoi[r] = cur_poi[r] - prev_poi_[r];
+    wpart[r] = cur_particle[r] - prev_particle_[r];
+    // The Eq.-6 signal per rank: pure compute, migration and Poisson out.
+    wcomp[r] = wt[r] - wpm[r] - wpoi[r];
   }
   prev_total_ = cur_total;
   prev_pm_ = cur_pm;
   prev_poi_ = cur_poi;
+  prev_particle_ = cur_particle;
 
   const double lii = balance::load_imbalance_indicator(wt, wpm, wpoi);
   diag.lii = lii;
@@ -494,8 +516,33 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   if (!lb.enabled) return;
   // Measuring lii requires an allgather of the per-rank timings.
   rt_->allgather(phases::kRebalance, wt);
+
+  // Feed the per-step signals every step (EWMAs need the full history, not
+  // just period boundaries). Both consume virtual time only.
+  policy_.observe_step(wcomp);
+  if (cost_model_.config().kind != balance::CostModelKind::kStatic) {
+    // Static per-rank wlm prediction: sum of Eq.-7 weights over each
+    // rank's cells = N_r + R*C_r + W_cell * ncells_r. The measured window
+    // is the work of the particles present at the *start* of this step, so
+    // it is regressed against the PREVIOUS step's prediction — pairing it
+    // with end-of-step counts would make fast-growing ranks look cheap and
+    // under-provision exactly where the load is arriving.
+    std::vector<double> predicted(pcfg_.nranks);
+    for (int r = 0; r < pcfg_.nranks; ++r) {
+      const auto n_h = stores_[r].count_species(dsmc::kSpeciesH);
+      const auto n_hp = stores_[r].count_species(dsmc::kSpeciesHPlus);
+      predicted[r] = static_cast<double>(n_h) +
+                     lb.weight_ratio * static_cast<double>(n_hp) +
+                     lb.cell_weight * static_cast<double>(my_cells_[r].size());
+    }
+    if (!prev_predicted_.empty())
+      cost_model_.observe_step(wpart, prev_predicted_);
+    prev_predicted_ = std::move(predicted);
+  }
+
   if (steps_since_rebalance_ < lb.period) return;
-  if (!(lii > lb.threshold)) return;
+  const balance::PolicyDecision decision = policy_.decide(step_, lii);
+  if (!decision.rebalance) return;
 
   // Per-cell particle counts for the weighted load model.
   std::vector<std::int64_t> neutrals(coarse_.num_tets(), 0);
@@ -512,10 +559,23 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
     }
   }
 
+  // Timer/hybrid weights replace the rebalancer's internal Eq.-7 ones; an
+  // empty span keeps the static path bit-identical.
+  std::vector<double> weights;
+  if (cost_model_.config().kind != balance::CostModelKind::kStatic)
+    weights = cost_model_.cell_weights(owner_, neutrals, charged,
+                                       lb.weight_ratio, lb.cell_weight);
+
+  // Measured cost of the whole event (repartition + KM + migration +
+  // rebuild) in virtual time: the busy_max span of the Rebalance phase.
+  const double rb_busy_before = rt_->phase_stats(phases::kRebalance).busy_max;
+  const bool estimate_learned = policy_.rebalances_observed() > 0;
+  const double estimate_before = policy_.rebalance_cost_estimate();
+
   const obs::HostProfiler::Scope prof_rb(prof_, "rebalance");
   const std::vector<std::int32_t> new_owner = balance::redecompose(
       *rt_, phases::kRebalance, dual_, coarse_.centroids(), neutrals, charged,
-      owner_, lb, lb_stats_);
+      owner_, lb, lb_stats_, weights);
 
   // Work redistribution: migrate particles to their new owners.
   if (auditor_) auditor_->on_flagged(flagged_count());
@@ -531,6 +591,31 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
                              total_particles());
   owner_ = new_owner;
   rebuild_parallel_structures(phases::kRebalance, /*charge_costs=*/true);
+
+  // The decomposition (and each rank's population) just changed: refresh
+  // the cached prediction so the next measured window is paired with the
+  // post-migration counts, not the stale pre-rebalance ones.
+  if (!prev_predicted_.empty()) {
+    for (int r = 0; r < pcfg_.nranks; ++r) {
+      const auto n_h = stores_[r].count_species(dsmc::kSpeciesH);
+      const auto n_hp = stores_[r].count_species(dsmc::kSpeciesHPlus);
+      prev_predicted_[r] =
+          static_cast<double>(n_h) + lb.weight_ratio * static_cast<double>(n_hp) +
+          lb.cell_weight * static_cast<double>(my_cells_[r].size());
+    }
+  }
+
+  const double rb_measured = std::max(
+      0.0, rt_->phase_stats(phases::kRebalance).busy_max - rb_busy_before);
+  policy_.observe_rebalance(rb_measured);
+  // Audit the cost feedback loop — but only once the policy has a learned
+  // estimate to hold to account (the first event is by definition a guess).
+  if (auditor_ && estimate_learned) {
+    const double skew =
+        cfg_.fault == FaultInjection::kSkewRebalanceCost ? 1000.0 : 1.0;
+    auditor_->check_rebalance_cost(estimate_before * skew, rb_measured);
+  }
+
   steps_since_rebalance_ = 0;
   diag.rebalanced = true;
 }
@@ -616,6 +701,7 @@ RunSummary CoupledSolver::summary() const {
   s.phase_names = rt_->phases();
   for (const auto& p : s.phase_names) s.phase_stats.push_back(rt_->phase_stats(p));
   s.rebalance = lb_stats_;
+  s.decisions = policy_.decisions();
   s.final_particles = total_particles();
   return s;
 }

@@ -66,6 +66,8 @@ struct RunSummary {
   std::vector<std::string> phase_names;
   std::vector<par::PhaseStats> phase_stats;  // parallel to phase_names
   balance::RebalanceStats rebalance;
+  /// Every periodic when-to-rebalance decision the policy made.
+  std::vector<balance::PolicyDecision> decisions;
   std::int64_t final_particles = 0;
 
   double phase_max(const std::string& name) const;
@@ -94,6 +96,10 @@ class CoupledSolver {
   int current_step() const { return step_; }
   const std::vector<StepDiagnostics>& history() const { return history_; }
   const balance::RebalanceStats& rebalance_stats() const { return lb_stats_; }
+  /// Timer-augmented cost model state (DESIGN.md §2h).
+  const balance::CostModel& cost_model() const { return cost_model_; }
+  /// When-to-rebalance policy state and its recorded decisions.
+  const balance::RebalancePolicy& policy() const { return policy_; }
 
   std::vector<std::int64_t> particles_per_rank() const;
   std::int64_t total_particles() const;
@@ -199,7 +205,11 @@ class CoupledSolver {
   int steps_since_rebalance_ = 0;
   double trace_prev_exch_bytes_ = 0.0;  // per-step migration-bytes delta
   std::vector<double> prev_total_, prev_pm_, prev_poi_;  // lii window
+  std::vector<double> prev_particle_;  // particle-phase window (cost model)
+  std::vector<double> prev_predicted_;  // last step's static wlm per rank
   balance::RebalanceStats lb_stats_;
+  balance::CostModel cost_model_;
+  balance::RebalancePolicy policy_;
   std::vector<StepDiagnostics> history_;
 
   obs::HealthAuditor* auditor_ = nullptr;  // not owned

@@ -23,6 +23,8 @@ const char* invariant_name(Invariant inv) {
       return "ownership";
     case Invariant::kMailboxDrained:
       return "mailbox_drained";
+    case Invariant::kRebalanceCost:
+      return "rebalance_cost";
   }
   return "unknown";
 }
@@ -191,6 +193,22 @@ void HealthAuditor::check_ownership(
     }
   }
   check(Invariant::kOwnership, ok, detail);
+}
+
+void HealthAuditor::check_rebalance_cost(double estimated, double measured) {
+  // Either direction: a wildly over-estimating policy never rebalances, a
+  // wildly under-estimating one thrashes. Both are feedback-loop breaks.
+  const double f = cfg_.rebalance_cost_factor;
+  const bool ok = std::isfinite(estimated) && std::isfinite(measured) &&
+                  estimated >= 0.0 && measured >= 0.0 &&
+                  estimated <= f * measured && measured <= f * estimated;
+  check(Invariant::kRebalanceCost, ok, [&] {
+    std::ostringstream os;
+    os.precision(17);
+    os << "policy estimated " << estimated << " vs measured " << measured
+       << " (allowed factor " << f << ")";
+    return os.str();
+  }());
 }
 
 }  // namespace dsmcpic::obs

@@ -18,7 +18,11 @@
 //     valid rank and appears in exactly its owner's cell list (checked
 //     every step, so a botched rebalance is caught the step it happens);
 //   * mailboxes drained — the BSP runtime holds no undelivered message at
-//     step end.
+//     step end;
+//   * rebalance cost — the rebalance policy's recorded migration-cost
+//     estimate stays within a factor of the measured rebalance span
+//     (post-rebalance ownership being an exact partition is covered by the
+//     ownership invariant, which runs every step).
 //
 // The auditor is pure observation: hooks receive values the solver already
 // computed (or recomputes read-only), never mutate solver state, and never
@@ -45,8 +49,9 @@ enum class Invariant {
   kPoissonResidual,
   kOwnership,
   kMailboxDrained,
+  kRebalanceCost,
 };
-inline constexpr int kNumInvariants = 6;
+inline constexpr int kNumInvariants = 7;
 
 /// Stable snake_case names used in logs and run_report.json.
 const char* invariant_name(Invariant inv);
@@ -65,6 +70,12 @@ struct AuditConfig {
   /// Residual bound applied when the CG did NOT converge (a converged
   /// solve is checked against its own rel_tol).
   double poisson_residual_bound = 1e-3;
+  /// The policy's rebalance-cost estimate must lie within this factor of
+  /// the measured rebalance span (either direction). Generous by design:
+  /// the estimate is an EWMA of *past* rebalances and migration volume
+  /// varies between events; the invariant catches estimates that are off
+  /// by orders of magnitude (a broken feedback loop), not EWMA lag.
+  double rebalance_cost_factor = 16.0;
 };
 
 struct InvariantTally {
@@ -113,6 +124,11 @@ class HealthAuditor {
   /// r's cells. Verifies the partition is exact.
   void check_ownership(std::span<const std::int32_t> owner, int nranks,
                        const std::vector<std::vector<std::int32_t>>& rank_cells);
+  /// After a rebalance: the policy's learned cost estimate vs the measured
+  /// virtual-time span of the event (redecompose + migration + rebuild).
+  /// Call only once the policy has at least one prior measurement — the
+  /// first event is by definition unestimated.
+  void check_rebalance_cost(double estimated, double measured);
 
  private:
   /// Tallies, logs or throws per cfg_.severity.

@@ -28,6 +28,9 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   w.kv("strategy", report.config.strategy);
   w.kv("balance", report.config.balance);
   w.kv("audit", report.config.audit_severity);
+  w.kv("cost_model", report.config.cost_model);
+  w.kv("policy", report.config.policy);
+  w.kv("horizon", report.config.horizon);
   w.end_object();
 
   w.key("virtual_time");
@@ -59,6 +62,20 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   w.kv("recombinations", report.steps.recombinations);
   w.kv("rebalances", report.steps.rebalances);
   w.end_object();
+
+  w.key("rebalance_decisions");
+  w.begin_array();
+  for (const RunReportDecision& d : report.rebalance_decisions) {
+    w.begin_object();
+    w.kv("step", d.step);
+    w.kv("lii", d.lii);
+    w.kv("imbalance_per_step", d.imbalance_per_step);
+    w.kv("projected_imbalance_cost", d.projected_imbalance_cost);
+    w.kv("rebalance_cost_estimate", d.rebalance_cost_estimate);
+    w.kv("rebalance", d.rebalance);
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("audit");
   w.begin_object();

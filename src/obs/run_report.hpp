@@ -51,6 +51,20 @@ struct RunReportConfig {
   std::string strategy;
   bool balance = false;
   std::string audit_severity;  // "off" when no auditor was attached
+  std::string cost_model;      // "static" | "timer" | "hybrid"
+  std::string policy;          // "threshold" | "lookahead"
+  int horizon = 0;             // look-ahead horizon H (steps)
+};
+
+/// One when-to-rebalance decision, copied out of the balancer's policy by
+/// the caller (plain values — obs stays below balance in the layer graph).
+struct RunReportDecision {
+  int step = 0;
+  double lii = 0.0;
+  double imbalance_per_step = 0.0;
+  double projected_imbalance_cost = 0.0;
+  double rebalance_cost_estimate = 0.0;
+  bool rebalance = false;
 };
 
 /// Whole-run physics totals (summed over steps unless noted).
@@ -70,6 +84,9 @@ struct RunReport {
   double total_virtual_time = 0.0;
   std::vector<RunReportPhase> phases;
   RunReportSteps steps;
+  /// Every policy decision made during the run (empty when balancing was
+  /// off). Deterministic: virtual-time inputs only.
+  std::vector<RunReportDecision> rebalance_decisions;
   /// Optional sections; null pointer renders as {"enabled": false}.
   const AuditReport* audit = nullptr;
   const HostProfiler* profiler = nullptr;

@@ -82,6 +82,44 @@ TEST(BenchCli, AuditDefaultsOffAndRejectsTypos) {
   }
 }
 
+TEST(BenchCli, CostModelAndPolicyFlagsReachBenchOptions) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+  const char* argv[] = {"prog",      "--cost-model", "timer",
+                        "--policy",  "lookahead",    "--horizon", "7"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 7, argv));
+  const bench::BenchOptions o = flags.finish();
+  EXPECT_EQ(o.cost_model, "timer");
+  EXPECT_EQ(o.policy, "lookahead");
+  EXPECT_EQ(o.horizon, 7);
+}
+
+TEST(BenchCli, CostModelDefaultsStaticAndRejectsTypos) {
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 1, argv));
+    const bench::BenchOptions o = flags.finish();
+    EXPECT_EQ(o.cost_model, "static");
+    EXPECT_EQ(o.policy, "threshold");
+  }
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog", "--cost-model", "wallclock"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(flags.finish(), Error);
+  }
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog", "--horizon", "-1"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(flags.finish(), Error);
+  }
+}
+
 TEST(BenchCli, TraceCasePathInsertsBeforeExtension) {
   EXPECT_EQ(bench::trace_case_path("out.json", 0), "out.json");
   EXPECT_EQ(bench::trace_case_path("out.json", 1), "out.case1.json");

@@ -30,17 +30,24 @@ struct RunResult {
   std::vector<std::int64_t> particles_per_rank;
   std::vector<double> potential;
   std::vector<StepDiagnostics> history;
+  std::vector<balance::PolicyDecision> decisions;
   double total_time = 0.0;
 };
 
 RunResult run_solver(par::ExecMode mode, int nranks, int threads,
                      exchange::Strategy strategy, bool balance_enabled,
-                     int steps, int kernel_threads = 1, int sort_every = 0) {
+                     int steps, int kernel_threads = 1, int sort_every = 0,
+                     balance::CostModelKind cost_model =
+                         balance::CostModelKind::kStatic,
+                     balance::PolicyKind policy =
+                         balance::PolicyKind::kThreshold) {
   ParallelConfig par;
   par.nranks = nranks;
   par.strategy = strategy;
   par.balance.enabled = balance_enabled;
   par.balance.period = 4;
+  par.balance.cost_model.kind = cost_model;
+  par.balance.policy.kind = policy;
   par.exec_mode = mode;
   par.exec_threads = threads;
   par.kernel_threads = kernel_threads;
@@ -58,6 +65,7 @@ RunResult run_solver(par::ExecMode mode, int nranks, int threads,
   r.particles_per_rank = solver.particles_per_rank();
   r.potential = solver.potential();
   r.history = solver.history();
+  r.decisions = summary.decisions;
   r.total_time = solver.runtime().total_time();
   return r;
 }
@@ -65,6 +73,23 @@ RunResult run_solver(par::ExecMode mode, int nranks, int threads,
 void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.clocks, b.clocks);
   EXPECT_EQ(a.total_time, b.total_time);
+
+  // The when-to-rebalance decision sequence is part of the contract: every
+  // recorded decision, including the cost projections it was based on,
+  // must be bitwise identical.
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const balance::PolicyDecision& da = a.decisions[i];
+    const balance::PolicyDecision& db = b.decisions[i];
+    EXPECT_EQ(da.step, db.step);
+    EXPECT_EQ(da.lii, db.lii) << "decision " << i;
+    EXPECT_EQ(da.imbalance_per_step, db.imbalance_per_step) << "decision " << i;
+    EXPECT_EQ(da.projected_imbalance_cost, db.projected_imbalance_cost)
+        << "decision " << i;
+    EXPECT_EQ(da.rebalance_cost_estimate, db.rebalance_cost_estimate)
+        << "decision " << i;
+    EXPECT_EQ(da.rebalance, db.rebalance) << "decision " << i;
+  }
 
   ASSERT_EQ(a.phase_names, b.phase_names);
   ASSERT_EQ(a.phase_stats.size(), b.phase_stats.size());
@@ -233,6 +258,64 @@ TEST(SortDeterminism, SortedLaneCountIndependence) {
                  exchange::Strategy::kCentralized, /*balance=*/false, 6,
                  /*kernel_threads=*/4, /*sort_every=*/1);
   expect_identical(kt2, kt4);
+}
+
+// ---- Timer cost model + look-ahead policy (DESIGN.md §2h) ------------------
+// The cost model feeds measured virtual time back into the partition
+// weights, so any nondeterminism anywhere in the accounting would be
+// amplified into diverging decompositions. These runs must stay bitwise
+// identical — including the recorded decision sequences — across exec
+// modes, kernel lane counts, and sort intervals.
+
+TEST(CostModelDeterminism, TimerThreadedMatchesSequentialBitwise) {
+  const RunResult seq = run_solver(
+      par::ExecMode::kSequential, 8, 0, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/1, /*sort_every=*/0,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  const RunResult thr = run_solver(
+      par::ExecMode::kThreaded, 8, 4, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/1, /*sort_every=*/0,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  expect_identical(seq, thr);
+  EXPECT_FALSE(seq.decisions.empty());
+}
+
+TEST(CostModelDeterminism, TimerKernelLaneAndSortInvariance) {
+  const RunResult plain = run_solver(
+      par::ExecMode::kSequential, 8, 0, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/1, /*sort_every=*/0,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  const RunResult kt4_sorted = run_solver(
+      par::ExecMode::kSequential, 8, 0, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/4, /*sort_every=*/3,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  expect_identical(plain, kt4_sorted);
+}
+
+TEST(CostModelDeterminism, HybridComposedParallelismInvariance) {
+  const RunResult plain = run_solver(
+      par::ExecMode::kSequential, 6, 0, exchange::Strategy::kDistributed,
+      /*balance=*/true, 8, /*kernel_threads=*/1, /*sort_every=*/0,
+      balance::CostModelKind::kHybrid, balance::PolicyKind::kLookahead);
+  const RunResult both = run_solver(
+      par::ExecMode::kThreaded, 6, 3, exchange::Strategy::kDistributed,
+      /*balance=*/true, 8, /*kernel_threads=*/2, /*sort_every=*/1,
+      balance::CostModelKind::kHybrid, balance::PolicyKind::kLookahead);
+  expect_identical(plain, both);
+}
+
+TEST(CostModelDeterminism, TimerRunsAreRepeatable) {
+  // Two identical invocations: the decision sequence (and everything else)
+  // must reproduce exactly — the policy consumes only virtual-time signals.
+  const RunResult a = run_solver(
+      par::ExecMode::kThreaded, 8, 4, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/2, /*sort_every=*/0,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  const RunResult b = run_solver(
+      par::ExecMode::kThreaded, 8, 4, exchange::Strategy::kDistributed,
+      /*balance=*/true, 10, /*kernel_threads=*/2, /*sort_every=*/0,
+      balance::CostModelKind::kTimer, balance::PolicyKind::kLookahead);
+  expect_identical(a, b);
 }
 
 }  // namespace

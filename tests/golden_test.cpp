@@ -46,12 +46,18 @@ SolverConfig tiny_config() {
 
 std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
                          int kernel_threads = 1, bool traced = false,
-                         bool audited = false, int sort_every = 0) {
+                         bool audited = false, int sort_every = 0,
+                         balance::CostModelKind cost_model =
+                             balance::CostModelKind::kStatic,
+                         balance::PolicyKind policy =
+                             balance::PolicyKind::kThreshold) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
   par.balance.enabled = balance_enabled;
   par.balance.period = 3;
+  par.balance.cost_model.kind = cost_model;
+  par.balance.policy.kind = policy;
   par.kernel_threads = kernel_threads;
   obs::HealthAuditor auditor({obs::AuditSeverity::kAbort});
   obs::HostProfiler prof;
@@ -185,6 +191,60 @@ TEST(Golden, SortedCentralizedMatchesUnsortedGolden) {
                  /*kernel_threads=*/1, /*traced=*/false, /*audited=*/false,
                  /*sort_every=*/2);
   EXPECT_EQ(got, kGoldenCcUnbalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// ---- Timer cost model + look-ahead policy (DESIGN.md §2h) ------------------
+
+// The timer-augmented run has its own golden: measured corrections feed the
+// partition weights, so its trajectory legitimately differs from the static
+// one — but it must still be one fixed, reproducible trajectory.
+constexpr std::uint64_t kGoldenDcTimerLookahead = 0x95971dad00b61899ULL;
+
+// Keeping --cost-model static (the default) must NOT move the original
+// goldens — the static path bypasses the cost model entirely. That claim is
+// pinned by the unchanged kGoldenDcBalanced constants above; this test pins
+// the explicit-static spelling to the same value.
+TEST(GoldenCostModel, ExplicitStaticMatchesOriginalGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/0, balance::CostModelKind::kStatic,
+                 balance::PolicyKind::kThreshold);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+TEST(GoldenCostModel, TimerLookaheadIsReproducible) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/0, balance::CostModelKind::kTimer,
+                 balance::PolicyKind::kLookahead);
+  EXPECT_EQ(got, kGoldenDcTimerLookahead)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// The determinism contract across execution knobs, in golden form: kernel
+// chunking and the periodic sort must be invisible to the timer-fed
+// trajectory too (the corrections are pure virtual-time functions).
+TEST(GoldenCostModel, TimerKernelThreadsMatchesTimerGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/4, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/0, balance::CostModelKind::kTimer,
+                 balance::PolicyKind::kLookahead);
+  EXPECT_EQ(got, kGoldenDcTimerLookahead)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+TEST(GoldenCostModel, TimerSortedMatchesTimerGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/2, /*traced=*/false, /*audited=*/false,
+                 /*sort_every=*/2, balance::CostModelKind::kTimer,
+                 balance::PolicyKind::kLookahead);
+  EXPECT_EQ(got, kGoldenDcTimerLookahead)
       << "new digest: 0x" << std::hex << got << "ULL";
 }
 

@@ -336,13 +336,14 @@ RunOutcome run_solver(bool audited, obs::AuditSeverity severity,
                       FaultInjection fault = FaultInjection::kNone,
                       par::ExecMode mode = par::ExecMode::kSequential,
                       int exec_threads = 0, int kernel_threads = 1,
-                      int steps = 6) {
+                      int steps = 6, double threshold = 0.0) {
   SolverConfig cfg = tiny_config();
   cfg.fault = fault;
   ParallelConfig par;
   par.nranks = 6;
   par.balance.enabled = true;
   par.balance.period = 3;
+  if (threshold > 0.0) par.balance.threshold = threshold;
   par.exec_mode = mode;
   par.exec_threads = exec_threads;
   par.kernel_threads = kernel_threads;
@@ -373,7 +374,7 @@ TEST(AuditFaults, DropParticleFlagsExactlyParticleBooks) {
   for (const obs::Invariant inv :
        {obs::Invariant::kExchangeConservation, obs::Invariant::kChargeBalance,
         obs::Invariant::kPoissonResidual, obs::Invariant::kOwnership,
-        obs::Invariant::kMailboxDrained})
+        obs::Invariant::kMailboxDrained, obs::Invariant::kRebalanceCost})
     EXPECT_EQ(violations_of(out.audit, inv), 0)
         << obs::invariant_name(inv) << " flagged by the wrong fault";
   EXPECT_NE(out.audit.first_violation.find("particle_books"),
@@ -389,9 +390,59 @@ TEST(AuditFaults, SkewDepositFlagsExactlyChargeBalance) {
   for (const obs::Invariant inv :
        {obs::Invariant::kParticleBooks, obs::Invariant::kExchangeConservation,
         obs::Invariant::kPoissonResidual, obs::Invariant::kOwnership,
-        obs::Invariant::kMailboxDrained})
+        obs::Invariant::kMailboxDrained, obs::Invariant::kRebalanceCost})
     EXPECT_EQ(violations_of(out.audit, inv), 0)
         << obs::invariant_name(inv) << " flagged by the wrong fault";
+}
+
+TEST(AuditFaults, SkewRebalanceCostFlagsExactlyRebalanceCost) {
+  // The fault inflates the policy's cost estimate x1000 at the audit hook
+  // only — the run itself is untouched (verified by the digest below). A
+  // low threshold and a longer run guarantee at least two rebalances, so at
+  // least one check happens with a learned estimate.
+  const RunOutcome out = run_solver(/*audited=*/true,
+                                    obs::AuditSeverity::kCountOnly,
+                                    FaultInjection::kSkewRebalanceCost,
+                                    par::ExecMode::kSequential,
+                                    /*exec_threads=*/0, /*kernel_threads=*/1,
+                                    /*steps=*/14, /*threshold=*/1.01);
+  EXPECT_GT(violations_of(out.audit, obs::Invariant::kRebalanceCost), 0);
+  for (const obs::Invariant inv :
+       {obs::Invariant::kParticleBooks, obs::Invariant::kExchangeConservation,
+        obs::Invariant::kChargeBalance, obs::Invariant::kPoissonResidual,
+        obs::Invariant::kOwnership, obs::Invariant::kMailboxDrained})
+    EXPECT_EQ(violations_of(out.audit, inv), 0)
+        << obs::invariant_name(inv) << " flagged by the wrong fault";
+  EXPECT_NE(out.audit.first_violation.find("rebalance_cost"),
+            std::string::npos)
+      << out.audit.first_violation;
+
+  // Audit-only fault: the simulation trajectory must be identical to the
+  // unfaulted run under the same knobs.
+  const RunOutcome clean = run_solver(/*audited=*/false,
+                                      obs::AuditSeverity::kCountOnly,
+                                      FaultInjection::kNone,
+                                      par::ExecMode::kSequential,
+                                      /*exec_threads=*/0, /*kernel_threads=*/1,
+                                      /*steps=*/14, /*threshold=*/1.01);
+  EXPECT_EQ(out.digest, clean.digest);
+}
+
+TEST(AuditFaults, CleanRunPassesRebalanceCostInvariant) {
+  // Same aggressive-rebalance config without the fault: the policy's
+  // estimate must track the measured cost within the audit factor.
+  const RunOutcome out = run_solver(/*audited=*/true,
+                                    obs::AuditSeverity::kCountOnly,
+                                    FaultInjection::kNone,
+                                    par::ExecMode::kSequential,
+                                    /*exec_threads=*/0, /*kernel_threads=*/1,
+                                    /*steps=*/14, /*threshold=*/1.01);
+  EXPECT_EQ(violations_of(out.audit, obs::Invariant::kRebalanceCost), 0);
+  EXPECT_GT(out.audit.by_invariant[static_cast<int>(
+                obs::Invariant::kRebalanceCost)]
+                .checks,
+            0)
+      << "the rebalance-cost invariant was never exercised";
 }
 
 TEST(AuditFaults, AbortSeverityStopsTheRun) {
