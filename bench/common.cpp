@@ -69,6 +69,19 @@ CommonFlags::CommonFlags(Cli& cli, std::string bench_name,
       "horizon", 20,
       "look-ahead horizon in DSMC steps for --policy lookahead "
       "(0 falls back to the threshold trigger)");
+  ensemble_ = cli.add_string(
+      "ensemble", "fixed",
+      "rank ensemble: fixed | elastic (resizes the active rank set "
+      "within --ranks-min/--ranks-max from observed load)");
+  ranks_min_ = cli.add_int(
+      "ranks-min", 1, "smallest active rank count for --ensemble elastic");
+  ranks_max_ = cli.add_int(
+      "ranks-max", 0,
+      "largest active rank count for --ensemble elastic (0 = nominal)");
+  ranks_initial_ = cli.add_int(
+      "ranks-initial", 0,
+      "active rank count at init (0 = all; honored for --ensemble fixed "
+      "too, giving a fixed reduced ensemble on a larger nominal machine)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -93,6 +106,14 @@ BenchOptions CommonFlags::finish() const {
   balance::parse_policy(o.policy);
   o.horizon = static_cast<int>(*horizon_);
   DSMCPIC_CHECK_MSG(o.horizon >= 0, "--horizon must be >= 0");
+  o.ensemble = *ensemble_;
+  balance::parse_ensemble(o.ensemble);  // validate early
+  o.ranks_min = static_cast<int>(*ranks_min_);
+  o.ranks_max = static_cast<int>(*ranks_max_);
+  o.ranks_initial = static_cast<int>(*ranks_initial_);
+  DSMCPIC_CHECK_MSG(o.ranks_min >= 1, "--ranks-min must be >= 1");
+  DSMCPIC_CHECK_MSG(o.ranks_max >= 0, "--ranks-max must be >= 0");
+  DSMCPIC_CHECK_MSG(o.ranks_initial >= 0, "--ranks-initial must be >= 0");
   return o;
 }
 
@@ -142,6 +163,10 @@ core::ParallelConfig make_parallel(const core::Dataset& ds, int nranks,
   par.balance.cost_model.kind = balance::parse_cost_model(opt.cost_model);
   par.balance.policy.kind = balance::parse_policy(opt.policy);
   par.balance.policy.horizon = opt.horizon;
+  par.balance.ensemble.kind = balance::parse_ensemble(opt.ensemble);
+  par.balance.ensemble.ranks_min = opt.ranks_min;
+  par.balance.ensemble.ranks_max = opt.ranks_max;
+  par.balance.ensemble.initial = opt.ranks_initial;
   par.particle_scale = ds.paper_particle_scale;
   par.grid_scale = ds.paper_grid_scale;
   par.exec_mode = opt.exec_mode;
@@ -241,6 +266,12 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
         balance::cost_model_name(par.balance.cost_model.kind);
     rep.config.policy = balance::policy_name(par.balance.policy.kind);
     rep.config.horizon = par.balance.policy.horizon;
+    rep.ensemble.kind = balance::ensemble_name(par.balance.ensemble.kind);
+    rep.ensemble.ranks_min = solver.ensemble().config().ranks_min;
+    rep.ensemble.ranks_max = solver.ensemble().config().ranks_max;
+    rep.ensemble.active_initial = solver.ensemble().initial_active();
+    rep.ensemble.active_final = solver.active_ranks();
+    rep.ensemble.resizes = solver.ensemble().resizes();
     rep.total_virtual_time = r.summary.total_time;
     for (std::size_t i = 0; i < r.summary.phase_names.size(); ++i) {
       const par::PhaseStats& st = r.summary.phase_stats[i];

@@ -54,6 +54,13 @@ struct BenchOptions {
   // Look-ahead horizon H in DSMC steps (policy=lookahead; 0 falls back to
   // the threshold trigger).
   int horizon = 20;
+  // Elastic rank ensemble (DESIGN.md §2i): fixed | elastic. The rank count
+  // from --ranks stays the NOMINAL machine; elastic resizes the active set
+  // within [ranks-min, ranks-max], starting from ranks-initial.
+  std::string ensemble = "fixed";
+  int ranks_min = 1;
+  int ranks_max = 0;      // 0 = nominal rank count
+  int ranks_initial = 0;  // 0 = all ranks active at init (fixed dense path)
 
   par::MachineProfile profile() const;
 };
@@ -83,6 +90,10 @@ class CommonFlags {
   const std::string* cost_model_;
   const std::string* policy_;
   const std::int64_t* horizon_;
+  const std::string* ensemble_;
+  const std::int64_t* ranks_min_;
+  const std::int64_t* ranks_max_;
+  const std::int64_t* ranks_initial_;
 };
 
 /// Parses argv for a bench binary. Returns false when --help was printed.

@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test ensemble_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -55,5 +55,12 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # but TSan instrumentation still exercises its allocation and EWMA paths
 # the same way the solver-level suites consume them.
 "$BUILD"/tests/balance_policy_test
+# Elastic rank ensembles (DESIGN.md §2i): resizing the active prefix
+# mid-run reroutes ownership through exchange + redecompose while the
+# threaded backend is live, and the pooled payload free-lists are touched
+# from rank bodies. The exec-mode bit-identity test runs the threaded
+# backend through a resize, so a racy pool or active-set handoff would be
+# flagged here.
+"$BUILD"/tests/ensemble_test
 
 echo "TSan sweep clean."

@@ -1,6 +1,7 @@
 #include "balance/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/error.hpp"
 #include "support/serialize.hpp"
@@ -29,6 +30,9 @@ RebalancePolicy::RebalancePolicy(PolicyConfig cfg) : cfg_(cfg) {
   DSMCPIC_CHECK_MSG(cfg_.initial_rebalance_cost >= 0.0,
                     "initial rebalance cost must be >= 0");
   DSMCPIC_CHECK_MSG(cfg_.cost_margin > 0.0, "cost margin must be > 0");
+  DSMCPIC_CHECK_MSG(cfg_.nranks >= 0, "policy nranks must be >= 0");
+  DSMCPIC_CHECK_MSG(cfg_.residual_margin >= 0.0,
+                    "residual margin must be >= 0");
 }
 
 void RebalancePolicy::observe_step(std::span<const double> rank_step_cost) {
@@ -96,11 +100,20 @@ PolicyDecision RebalancePolicy::decide(int step, double lii) {
   // Branch A: the *recoverable* cost of staying imbalanced for the next
   // `horizon` steps — the EWMA level extrapolated along its trend, less
   // the learned post-rebalance residual (a rebalance cannot do better
-  // than a fresh partition does), clamped at zero per step.
+  // than a fresh partition does), clamped at zero per step. The residual
+  // gets a rank-count margin: with many ranks each owns few cells, the
+  // single-step residual sample is optimistic, and an unwidened branch A
+  // over-buys rebalances (PolicyConfig::nranks). 1.0x at <= 64 ranks.
+  const double rank_margin =
+      cfg_.nranks > 64
+          ? 1.0 + cfg_.residual_margin *
+                      std::log2(static_cast<double>(cfg_.nranks) / 64.0)
+          : 1.0;
+  const double residual = residual_ * rank_margin;
   double projected = 0.0;
   for (int k = 1; k <= cfg_.horizon; ++k)
     projected += std::max(
-        0.0, imb_level_ + static_cast<double>(k) * imb_trend_ - residual_);
+        0.0, imb_level_ + static_cast<double>(k) * imb_trend_ - residual);
   d.projected_imbalance_cost = projected;
 
   if (cfg_.kind == PolicyKind::kThreshold || cfg_.horizon == 0) {

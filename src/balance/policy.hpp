@@ -54,6 +54,17 @@ struct PolicyConfig {
   double initial_rebalance_cost = 0.0;
   /// Safety margin: rebalance iff projected > margin * cost estimate.
   double cost_margin = 1.0;
+  /// Rank count the policy serves (0 = unknown). At high rank counts the
+  /// per-rank cell share is small, so the sampled post-rebalance residual
+  /// is noisy and optimistic — branch A over-estimates what a rebalance
+  /// recovers and the lookahead lane starts losing (observed at >= 96
+  /// ranks in the fig13 sweep). decide() widens the residual by
+  /// `residual_margin * log2(nranks / 64)` (clamped at zero) to compensate;
+  /// the multiplier is exactly 1.0 for nranks <= 64, so small-rank decision
+  /// sequences — including the golden configs — are untouched.
+  int nranks = 0;
+  /// Per-octave weight of the rank-count residual margin above 64 ranks.
+  double residual_margin = 0.25;
 };
 
 /// One periodic decision, recorded for run_report.json and the benches.

@@ -72,7 +72,7 @@ std::vector<std::int32_t> redecompose(
     std::span<const std::int64_t> neutral_counts,
     std::span<const std::int64_t> charged_counts,
     std::span<const std::int32_t> current_owner, const RebalanceConfig& cfg,
-    RebalanceStats& stats, std::span<const double> cell_weights) {
+    RebalanceStats& stats, std::span<const double> cell_weights, int nparts) {
   const auto ncells = static_cast<std::int32_t>(current_owner.size());
   DSMCPIC_CHECK(dual.num_vertices() == ncells);
   DSMCPIC_CHECK(static_cast<std::int32_t>(neutral_counts.size()) == ncells);
@@ -80,7 +80,7 @@ std::vector<std::int32_t> redecompose(
   DSMCPIC_CHECK_MSG(cell_weights.empty() ||
                         static_cast<std::int32_t>(cell_weights.size()) == ncells,
                     "cell_weights must cover every coarse cell");
-  const int nranks = rt.size();
+  const int nranks = nparts > 0 ? nparts : rt.active_ranks();
   const int root = 0;
 
   // Gather per-cell counts to the root (each rank contributes its cells).
@@ -140,9 +140,14 @@ std::vector<std::int32_t> redecompose(
     }
   }
 
-  // Remap new parts onto old owners.
+  // Remap new parts onto old owners. Skipped when the target part count
+  // dropped below an existing owner label (elastic shrink): the matching
+  // would be non-square, and a shrink moves cells wholesale anyway.
+  std::int32_t max_owner = -1;
+  for (const std::int32_t o : current_owner)
+    max_owner = std::max(max_owner, o);
   std::vector<std::int32_t> new_owner;
-  if (cfg.use_km) {
+  if (cfg.use_km && max_owner < nranks) {
     std::vector<double> keep(static_cast<std::size_t>(ncells));
     for (std::int32_t c = 0; c < ncells; ++c)
       keep[c] = static_cast<double>(weighted.vwgt[c]);

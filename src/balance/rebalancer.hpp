@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "balance/cost_model.hpp"
+#include "balance/ensemble.hpp"
 #include "balance/hungarian.hpp"
 #include "balance/policy.hpp"
 #include "partition/geometric.hpp"
@@ -51,6 +52,10 @@ struct RebalanceConfig {
   /// `threshold` above by the solver, so the paper's knob stays the single
   /// source of truth for the baseline trigger.
   PolicyConfig policy;
+  /// Elastic rank ensemble (DESIGN.md §2i): how many of the nominal ranks
+  /// are active. kFixed with initial == 0 reproduces the dense runtime
+  /// bit-for-bit.
+  EnsembleConfig ensemble;
 };
 
 struct RebalanceStats {
@@ -84,12 +89,19 @@ std::vector<std::int32_t> km_remap(std::span<const std::int32_t> old_owner,
 /// replaces the internally computed Eq.-7 weights (the timer/hybrid cost
 /// model's output, see CostModel::cell_weights); empty keeps the static
 /// path bit-identical to the pre-cost-model rebalancer.
+///
+/// `nparts` is the part count of the NEW decomposition: 0 (the default)
+/// partitions for the runtime's current active rank set; the elastic
+/// ensemble passes its target count when resizing. A resize that shrinks
+/// the part count below an existing owner label skips the KM remap (the
+/// matching is non-square — old owners cannot all keep a part).
 std::vector<std::int32_t> redecompose(
     par::Runtime& rt, const std::string& phase, const partition::Graph& dual,
     std::span<const Vec3> cell_centroids,
     std::span<const std::int64_t> neutral_counts,
     std::span<const std::int64_t> charged_counts,
     std::span<const std::int32_t> current_owner, const RebalanceConfig& cfg,
-    RebalanceStats& stats, std::span<const double> cell_weights = {});
+    RebalanceStats& stats, std::span<const double> cell_weights = {},
+    int nparts = 0);
 
 }  // namespace dsmcpic::balance

@@ -22,7 +22,10 @@ constexpr std::uint64_t kMagic = 0x44534d435049434bULL;  // "DSMCPICK"
 // instead of two Vec3 arrays.
 // v3: adds the particle-phase busy window, cost-model scales and
 // rebalance-policy state (DESIGN.md §2h).
-constexpr std::uint32_t kVersion = 3;
+// v4: adds the elastic-ensemble state — the solver's active rank count and
+// the ensemble policy's EWMAs/decision log — and the runtime stream gained
+// its active set and superstep counter (DESIGN.md §2i).
+constexpr std::uint32_t kVersion = 4;
 
 /// A cheap fingerprint of the configuration pieces that must match between
 /// the saving and restoring solver.
@@ -78,6 +81,8 @@ void CoupledSolver::save_checkpoint(const std::string& path) const {
   io::write_pod(os, lb_stats_);
   cost_model_.save(os);
   policy_.save(os);
+  io::write_pod<std::int32_t>(os, active_);
+  ensemble_.save(os);
 
   rt_->save(os);
 }
@@ -122,8 +127,15 @@ void CoupledSolver::restore_checkpoint(const std::string& path) {
   lb_stats_ = io::read_pod<balance::RebalanceStats>(is);
   cost_model_.load(is);
   policy_.load(is);
+  const auto active = io::read_pod<std::int32_t>(is);
+  DSMCPIC_CHECK_MSG(active >= 1 && active <= pcfg_.nranks,
+                    "checkpoint active rank count " << active
+                                                    << " out of range");
+  active_ = active;
+  ensemble_.load(is);
 
   rt_->load(is);
+  DSMCPIC_CHECK(rt_->active_ranks() == active_);
 
   // Rebuild decomposition-dependent structures for the restored ownership
   // (no cost charging: the restored clocks already contain everything).

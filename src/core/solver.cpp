@@ -20,6 +20,12 @@ double RunSummary::phase_max(const std::string& name) const {
   return 0.0;
 }
 
+double RunSummary::busy_sum_total() const {
+  double s = 0.0;
+  for (const par::PhaseStats& p : phase_stats) s += p.busy_sum;
+  return s;
+}
+
 CoupledSolver::CoupledSolver(SolverConfig cfg, ParallelConfig par)
     : cfg_(cfg),
       pcfg_(par),
@@ -38,21 +44,28 @@ void CoupledSolver::init() {
 
   fine_ = std::make_unique<pic::FineGrid>(coarse_, refined_);
 
+  // Elastic ensemble (§2i): the machine keeps `nranks` nominal ranks but the
+  // solver decomposes onto — and the runtime dispatches — only the active
+  // prefix. The fixed default (active == nranks) is the dense path.
+  ensemble_ = balance::EnsemblePolicy(pcfg_.balance.ensemble, nranks);
+  active_ = ensemble_.initial_active();
+
   // Dual graph of the coarse grid (the only grid that is decomposed).
   coarse_.dual_graph(dual_.xadj, dual_.adjncy);
 
   // First decomposition: unweighted, as in the paper (Sec. IV-A).
-  if (nranks == 1) {
+  if (active_ == 1) {
     owner_.assign(static_cast<std::size_t>(coarse_.num_tets()), 0);
   } else {
     partition::PartitionOptions opt = pcfg_.balance.partition_options;
-    owner_ = partition::part_graph_kway(dual_, nranks, opt).part;
+    owner_ = partition::part_graph_kway(dual_, active_, opt).part;
   }
 
   rt_ = std::make_unique<par::Runtime>(
       nranks, par::Topology(pcfg_.profile, nranks, pcfg_.placement),
       pcfg_.particle_scale, pcfg_.grid_scale,
       par::ExecOptions{pcfg_.exec_mode, pcfg_.exec_threads});
+  if (active_ < nranks) rt_->set_active_ranks(active_);
 
   psys_ = std::make_unique<pic::PoissonSystem>(refined_.mesh, cfg_.poisson_bcs);
   phi_global_.assign(static_cast<std::size_t>(psys_->num_nodes()), 0.0);
@@ -113,25 +126,43 @@ void CoupledSolver::init() {
   // baseline trigger (and the look-ahead's H = 0 fallback).
   balance::PolicyConfig pc = pcfg_.balance.policy;
   pc.threshold = pcfg_.balance.threshold;
+  pc.nranks = pcfg_.nranks;
   policy_ = balance::RebalancePolicy(pc);
 }
 
 void CoupledSolver::rebuild_parallel_structures(const std::string& phase,
                                                 bool charge_costs) {
+  // my_cells_ keeps nominal size so per-rank observers stay stable; parked
+  // ranks own nothing and their lists stay empty. Everything that scales
+  // with participants (node exchange, Poisson layout) is built active-sized.
   const int nranks = pcfg_.nranks;
+  const int active = active_;
   my_cells_.assign(nranks, {});
   for (std::int32_t c = 0; c < coarse_.num_tets(); ++c)
     my_cells_[owner_[c]].push_back(c);
 
-  nodex_ = std::make_unique<pic::NodeExchange>(*fine_, owner_, nranks);
+  // Partition adjacency for the neighbor exchange (§2i): rank p neighbors
+  // rank q iff some coarse cell of p shares a dual edge with a cell of q.
+  neighbors_.assign(nranks, {});
+  if (pcfg_.strategy == exchange::Strategy::kNeighbor) {
+    for (std::int32_t c = 0; c < coarse_.num_tets(); ++c)
+      for (const std::int32_t d : dual_.neighbors(c))
+        if (owner_[c] != owner_[d]) neighbors_[owner_[c]].push_back(owner_[d]);
+    for (auto& nb : neighbors_) {
+      std::sort(nb.begin(), nb.end());
+      nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+  }
+
+  nodex_ = std::make_unique<pic::NodeExchange>(*fine_, owner_, active);
   linalg::DistLayout layout =
-      linalg::DistLayout::build(nranks, nodex_->node_owner(), psys_->matrix());
+      linalg::DistLayout::build(active, nodex_->node_owner(), psys_->matrix());
   dmat_ = linalg::DistMatrix::build(psys_->matrix(), std::move(layout));
 
   // Warm-start potential from the driver-side mirror.
-  x_.assign(nranks, {});
-  phi_local_.assign(nranks, {});
-  for (int r = 0; r < nranks; ++r) {
+  x_.assign(active, {});
+  phi_local_.assign(active, {});
+  for (int r = 0; r < active; ++r) {
     const auto& owned = dmat_.layout.owned[r];
     x_[r].resize(owned.size());
     for (std::size_t i = 0; i < owned.size(); ++i)
@@ -165,8 +196,10 @@ void CoupledSolver::do_inject(StepDiagnostics& diag) {
     const int r = c.rank();
     std::int64_t n_h = 0, n_hp = 0;
     if (cfg_.inject_round_robin) {
-      n_h = inject_h_->inject_shard(stores_[r], species_, r, pcfg_.nranks);
-      n_hp = inject_hplus_->inject_shard(stores_[r], species_, r, pcfg_.nranks);
+      // Shard over the ACTIVE set: parked ranks never run a body, so
+      // sharding over the nominal count would silently drop their share.
+      n_h = inject_h_->inject_shard(stores_[r], species_, r, active_);
+      n_hp = inject_hplus_->inject_shard(stores_[r], species_, r, active_);
     } else {
       n_h = inject_h_->inject(stores_[r], species_, cfg_.dt_dsmc, step_,
                               owner_, r);
@@ -209,7 +242,7 @@ void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
     const obs::HostProfiler::Scope prof(prof_, "exchange");
     ex = exchange::exchange_particles(*rt_, phases::kDsmcExchange,
                                       pcfg_.strategy, stores_, removed_,
-                                      owner_);
+                                      owner_, /*root=*/0, &neighbors_);
   }
   diag.migrated_dsmc = ex.migrated;
   if (auditor_)
@@ -227,8 +260,8 @@ void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
 }
 
 void CoupledSolver::do_reindex() {
-  std::vector<std::int64_t> counts(pcfg_.nranks, 0);
-  for (int r = 0; r < pcfg_.nranks; ++r)
+  std::vector<std::int64_t> counts(active_, 0);
+  for (int r = 0; r < active_; ++r)
     counts[r] = static_cast<std::int64_t>(stores_[r].size());
   const std::vector<std::int64_t> offsets =
       rt_->exscan_sum(phases::kReindex, counts);
@@ -388,7 +421,7 @@ void CoupledSolver::do_pic_substep(int substep, StepDiagnostics& diag) {
     const obs::HostProfiler::Scope prof(prof_, "exchange");
     ex = exchange::exchange_particles(*rt_, phases::kPicExchange,
                                       pcfg_.strategy, stores_, removed_,
-                                      owner_);
+                                      owner_, /*root=*/0, &neighbors_);
   }
   diag.migrated_pic += ex.migrated;
   if (auditor_)
@@ -434,7 +467,7 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
   }
 
   // Per-rank RHS over owned rows.
-  linalg::DistVector b(pcfg_.nranks);
+  linalg::DistVector b(active_);
   rt_->superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     const auto& owned = dmat_.layout.owned[r];
@@ -462,7 +495,7 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
                             res.converged);
 
   // Refresh the driver mirror and the per-rank nodal potentials.
-  for (int r = 0; r < pcfg_.nranks; ++r) {
+  for (int r = 0; r < active_; ++r) {
     const auto& owned = dmat_.layout.owned[r];
     for (std::size_t i = 0; i < owned.size(); ++i)
       phi_global_[owned[i]] = x_[r][i];
@@ -492,16 +525,20 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   const std::vector<double> cur_particle = rt_->busy_totals(
       std::array<std::string, 3>{phases::kDsmcMove, phases::kColliReact,
                                  phases::kPicMove});
-  std::vector<double> wt(pcfg_.nranks), wpm(pcfg_.nranks), wpoi(pcfg_.nranks);
-  std::vector<double> wpart(pcfg_.nranks), wcomp(pcfg_.nranks);
-  for (int r = 0; r < pcfg_.nranks; ++r) {
+  // lii/policy windows cover the ACTIVE prefix (parked ranks do no work);
+  // wpart stays nominal-sized — the cost model's per-rank guards skip parked
+  // ranks (their predicted load is zero).
+  std::vector<double> wt(active_), wpm(active_), wpoi(active_), wcomp(active_);
+  std::vector<double> wpart(pcfg_.nranks);
+  for (int r = 0; r < active_; ++r) {
     wt[r] = cur_total[r] - prev_total_[r];
     wpm[r] = cur_pm[r] - prev_pm_[r];
     wpoi[r] = cur_poi[r] - prev_poi_[r];
-    wpart[r] = cur_particle[r] - prev_particle_[r];
     // The Eq.-6 signal per rank: pure compute, migration and Poisson out.
     wcomp[r] = wt[r] - wpm[r] - wpoi[r];
   }
+  for (int r = 0; r < pcfg_.nranks; ++r)
+    wpart[r] = cur_particle[r] - prev_particle_[r];
   prev_total_ = cur_total;
   prev_pm_ = cur_pm;
   prev_poi_ = cur_poi;
@@ -513,13 +550,19 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   ++lb_stats_.checks;
 
   const balance::RebalanceConfig& lb = pcfg_.balance;
-  if (!lb.enabled) return;
+  const bool elastic = lb.ensemble.kind == balance::EnsembleKind::kElastic;
+  if (!lb.enabled && !elastic) return;
   // Measuring lii requires an allgather of the per-rank timings.
   rt_->allgather(phases::kRebalance, wt);
 
   // Feed the per-step signals every step (EWMAs need the full history, not
   // just period boundaries). Both consume virtual time only.
   policy_.observe_step(wcomp);
+  if (elastic) {
+    double step_total = 0.0;
+    for (const double w : wt) step_total += w;
+    ensemble_.observe_step(wcomp, step_total);
+  }
   if (cost_model_.config().kind != balance::CostModelKind::kStatic) {
     // Static per-rank wlm prediction: sum of Eq.-7 weights over each
     // rank's cells = N_r + R*C_r + W_cell * ncells_r. The measured window
@@ -541,6 +584,14 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   }
 
   if (steps_since_rebalance_ < lb.period) return;
+
+  // The ensemble moves first at a period boundary: a resize already
+  // repartitions onto the new active set, so a same-step rebalance would be
+  // redundant churn. steps_since_rebalance_ resets inside on a resize.
+  maybe_resize_ensemble(diag);
+  if (steps_since_rebalance_ == 0) return;
+
+  if (!lb.enabled) return;
   const balance::PolicyDecision decision = policy_.decide(step_, lii);
   if (!decision.rebalance) return;
 
@@ -620,6 +671,90 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   diag.rebalanced = true;
 }
 
+void CoupledSolver::maybe_resize_ensemble(StepDiagnostics& diag) {
+  if (pcfg_.balance.ensemble.kind != balance::EnsembleKind::kElastic) return;
+  const int target = ensemble_.decide(step_, active_);
+  if (target == active_) return;
+  {
+    const obs::HostProfiler::Scope prof(prof_, "rebalance");
+    resize_active(target);
+  }
+  steps_since_rebalance_ = 0;
+  diag.rebalanced = true;
+  if (trace::TraceRecorder* tr = rt_->tracer())
+    tr->add_instant(-1,
+                    "ensemble resize -> " + std::to_string(active_) +
+                        " @ step " + std::to_string(step_),
+                    rt_->total_time());
+}
+
+void CoupledSolver::resize_active(int target) {
+  DSMCPIC_CHECK(target >= 1 && target <= pcfg_.nranks);
+  const balance::RebalanceConfig& lb = pcfg_.balance;
+
+  // Per-cell particle counts for the weighted load model (Eq. 7).
+  std::vector<std::int64_t> neutrals(coarse_.num_tets(), 0);
+  std::vector<std::int64_t> charged(coarse_.num_tets(), 0);
+  for (int r = 0; r < pcfg_.nranks; ++r) {
+    const auto cells = stores_[r].cells();
+    const auto spec = stores_[r].species();
+    for (std::size_t i = 0; i < stores_[r].size(); ++i) {
+      if (removed_[r][i]) continue;
+      if (species_[spec[i]].charged())
+        ++charged[cells[i]];
+      else
+        ++neutrals[cells[i]];
+    }
+  }
+
+  // Grow activates the new ranks BEFORE migration so they can receive;
+  // shrink migrates first (everyone still dispatched) so the soon-parked
+  // ranks drain their particles, then leaves the dispatch set.
+  const bool grow = target > active_;
+  if (grow) {
+    rt_->set_active_ranks(target);
+    active_ = target;
+  }
+
+  const std::vector<std::int32_t> new_owner = balance::redecompose(
+      *rt_, phases::kRebalance, dual_, coarse_.centroids(), neutrals, charged,
+      owner_, lb, lb_stats_, /*cell_weights=*/{}, /*nparts=*/target);
+
+  if (auditor_) auditor_->on_flagged(flagged_count());
+  const std::int64_t before = auditor_ ? total_particles() : 0;
+  exchange::ExchangeStats ex;
+  {
+    // Dense fallback even under Strategy::kNeighbor: a resize moves cells
+    // wholesale, so the steady-state partition adjacency says nothing about
+    // who talks to whom here.
+    const obs::HostProfiler::Scope prof_ex(prof_, "exchange");
+    ex = exchange::exchange_particles(*rt_, phases::kRebalance, pcfg_.strategy,
+                                      stores_, removed_, new_owner);
+  }
+  if (auditor_)
+    auditor_->check_exchange(phases::kRebalance, before, ex.dropped,
+                             total_particles());
+  owner_ = new_owner;
+  if (!grow) {
+    rt_->set_active_ranks(target);
+    active_ = target;
+  }
+  rebuild_parallel_structures(phases::kRebalance, /*charge_costs=*/true);
+
+  // Same pairing rule as the rebalance path: the next measured window must
+  // regress against post-migration populations.
+  if (!prev_predicted_.empty()) {
+    for (int r = 0; r < pcfg_.nranks; ++r) {
+      const auto n_h = stores_[r].count_species(dsmc::kSpeciesH);
+      const auto n_hp = stores_[r].count_species(dsmc::kSpeciesHPlus);
+      prev_predicted_[r] =
+          static_cast<double>(n_h) +
+          lb.weight_ratio * static_cast<double>(n_hp) +
+          lb.cell_weight * static_cast<double>(my_cells_[r].size());
+    }
+  }
+}
+
 void CoupledSolver::record_trace_counters(const StepDiagnostics& diag) {
   trace::TraceRecorder* tr = rt_->tracer();
   if (!tr) return;
@@ -667,7 +802,7 @@ StepDiagnostics CoupledSolver::step() {
   record_trace_counters(diag);
 
   if (auditor_) {
-    auditor_->check_ownership(owner_, pcfg_.nranks, my_cells_);
+    auditor_->check_ownership(owner_, active_, my_cells_);
     auditor_->end_step(
         total_particles(),
         static_cast<std::int64_t>(rt_->undelivered_messages()));
@@ -702,7 +837,10 @@ RunSummary CoupledSolver::summary() const {
   for (const auto& p : s.phase_names) s.phase_stats.push_back(rt_->phase_stats(p));
   s.rebalance = lb_stats_;
   s.decisions = policy_.decisions();
+  s.ensemble_decisions = ensemble_.decisions();
   s.final_particles = total_particles();
+  s.supersteps = rt_->supersteps();
+  s.active_ranks = active_;
   return s;
 }
 

@@ -68,7 +68,15 @@ struct RunSummary {
   balance::RebalanceStats rebalance;
   /// Every periodic when-to-rebalance decision the policy made.
   std::vector<balance::PolicyDecision> decisions;
+  /// Every periodic ensemble resize decision (empty unless elastic).
+  std::vector<balance::EnsembleDecision> ensemble_decisions;
   std::int64_t final_particles = 0;
+  std::uint64_t supersteps = 0;  // runtime supersteps executed end-to-end
+  int active_ranks = 0;          // active count at end of run
+
+  /// Sum of per-rank busy seconds across every phase — the "node-seconds"
+  /// the run consumed (what an elastic ensemble tries to shrink).
+  double busy_sum_total() const;
 
   double phase_max(const std::string& name) const;
 };
@@ -100,6 +108,13 @@ class CoupledSolver {
   const balance::CostModel& cost_model() const { return cost_model_; }
   /// When-to-rebalance policy state and its recorded decisions.
   const balance::RebalancePolicy& policy() const { return policy_; }
+  /// Elastic-ensemble policy state and its recorded decisions (§2i).
+  const balance::EnsemblePolicy& ensemble() const { return ensemble_; }
+  /// Ranks currently participating (== nranks unless the ensemble shrank).
+  int active_ranks() const { return active_; }
+  /// Per-rank partition-adjacency neighbor lists (built for Strategy::
+  /// kNeighbor; empty otherwise).
+  const std::vector<std::vector<int>>& neighbors() const { return neighbors_; }
 
   std::vector<std::int64_t> particles_per_rank() const;
   std::int64_t total_particles() const;
@@ -160,6 +175,12 @@ class CoupledSolver {
   void do_pic_substep(int substep, StepDiagnostics& diag);
   void do_poisson_solve(StepDiagnostics& diag);
   void maybe_rebalance(StepDiagnostics& diag);
+  /// Elastic-ensemble resize check at rebalance-period boundaries (§2i).
+  void maybe_resize_ensemble(StepDiagnostics& diag);
+  /// Repartitions into `target` parts, migrates particles, and resizes the
+  /// runtime's active rank set (grow activates before migration so new
+  /// ranks can receive; shrink migrates first so parked ranks drain).
+  void resize_active(int target);
 
   SolverConfig cfg_;
   ParallelConfig pcfg_;
@@ -171,8 +192,11 @@ class CoupledSolver {
   partition::Graph dual_;
 
   std::unique_ptr<par::Runtime> rt_;
+  int active_ = 0;                              // active rank prefix [0, n)
   std::vector<std::int32_t> owner_;             // coarse cell -> rank
-  std::vector<std::vector<std::int32_t>> my_cells_;  // per rank
+  std::vector<std::vector<std::int32_t>> my_cells_;  // per rank (nominal size;
+                                                     // parked lists empty)
+  std::vector<std::vector<int>> neighbors_;     // partition adjacency (NC)
 
   std::vector<dsmc::ParticleStore> stores_;          // per rank
   std::vector<std::vector<std::uint8_t>> removed_;   // per rank flags
@@ -210,6 +234,7 @@ class CoupledSolver {
   balance::RebalanceStats lb_stats_;
   balance::CostModel cost_model_;
   balance::RebalancePolicy policy_;
+  balance::EnsemblePolicy ensemble_;
   std::vector<StepDiagnostics> history_;
 
   obs::HealthAuditor* auditor_ = nullptr;  // not owned

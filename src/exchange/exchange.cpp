@@ -65,7 +65,7 @@ ExchangeStats exchange_centralized(par::Runtime& rt, const std::string& phase,
                                    std::vector<std::vector<std::uint8_t>>& removed,
                                    std::span<const std::int32_t> cell_owner,
                                    int root) {
-  const int nranks = rt.size();
+  const int nranks = rt.active_ranks();
   ExchangeStats stats;
   // Root-side staging for classify: records pooled from everyone.
   std::vector<ParticleRecord> root_pool;
@@ -141,7 +141,7 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
                                    std::vector<ParticleStore>& stores,
                                    std::vector<std::vector<std::uint8_t>>& removed,
                                    std::span<const std::int32_t> cell_owner) {
-  const int nranks = rt.size();
+  const int nranks = rt.active_ranks();
   ExchangeStats stats;
   // Per-rank migration/drop counts: bodies may run on worker threads, so
   // each rank writes only its own slot and the driver reduces afterwards.
@@ -152,9 +152,10 @@ ExchangeStats exchange_distributed(par::Runtime& rt, const std::string& phase,
   // across ALL ordered pairs (Sec. IV-B2), i.e. N(N-1) transactions even
   // when a pair has nothing to exchange. We ship real payloads only where
   // non-empty, charge the empty pairs' handshake latency explicitly, and
-  // hint the full transaction count to the congestion model.
-  rt.hint_round_transactions(static_cast<std::uint64_t>(nranks) *
-                             static_cast<std::uint64_t>(nranks - 1));
+  // hint the full transaction count to the congestion model (the runtime
+  // computes it from the active rank set, so the hint never drifts from the
+  // population that actually exchanged).
+  rt.hint_round_transactions_all_pairs();
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     std::map<int, std::vector<ParticleRecord>> outgoing;
@@ -197,9 +198,9 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
                                     std::vector<ParticleStore>& stores,
                                     std::vector<std::vector<std::uint8_t>>& removed,
                                     std::span<const std::int32_t> cell_owner) {
-  const int nranks = rt.size();
+  const int nranks = rt.active_ranks();
   const int ppn = rt.topology().profile().cores_per_node;
-  const int nodes = rt.topology().nodes_in_use();
+  const int nodes = rt.active_nodes();
   auto leader_of = [ppn](int rank) { return (rank / ppn) * ppn; };
 
   ExchangeStats stats;
@@ -303,6 +304,67 @@ ExchangeStats exchange_hierarchical(par::Runtime& rt, const std::string& phase,
   return stats;
 }
 
+/// Neighbor exchange: DC's two-round semantics, but each rank's handshake
+/// loop walks only its partition-adjacency neighbor list — O(degree) host
+/// work per rank instead of O(N). Particles whose destination is NOT a
+/// neighbor (long migrations) still ship directly; they just skip the
+/// handshake charge, which DC also folds into the payload cost for
+/// non-empty pairs. The dense N(N-1) logical-transaction cost is preserved
+/// through hint_round_transactions_all_pairs, so NC and DC see the same
+/// congestion pressure; what changes is the host-side loop count.
+ExchangeStats exchange_neighbor(par::Runtime& rt, const std::string& phase,
+                                std::vector<ParticleStore>& stores,
+                                std::vector<std::vector<std::uint8_t>>& removed,
+                                std::span<const std::int32_t> cell_owner,
+                                const std::vector<std::vector<int>>& neighbors) {
+  const int nranks = rt.active_ranks();
+  DSMCPIC_CHECK_MSG(static_cast<int>(neighbors.size()) >= nranks,
+                    "neighbor lists cover " << neighbors.size()
+                                            << " ranks, need " << nranks);
+  ExchangeStats stats;
+  std::vector<std::int64_t> migrated(nranks, 0);
+  std::vector<std::int64_t> dropped(nranks, 0);
+
+  rt.hint_round_transactions_all_pairs();
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    std::map<int, std::vector<ParticleRecord>> outgoing;
+    dropped[r] = extract_outgoing(stores[r], removed[r], cell_owner, r, outgoing);
+    c.charge(par::WorkKind::kScan, static_cast<double>(stores[r].size()));
+    // Handshake with adjacency neighbors that got no payload this round
+    // (the synchronized pattern still probes them); non-neighbors are never
+    // probed — that's the O(degree) win.
+    for (const int peer : neighbors[r]) {
+      if (peer == r || peer < 0 || peer >= nranks) continue;
+      const auto it = outgoing.find(peer);
+      if (it == outgoing.end() || it->second.empty())
+        c.charge_comm_seconds(2.0 * c.alpha_to(peer));
+    }
+    for (auto& [dest, recs] : outgoing) {
+      if (recs.empty()) continue;
+      migrated[r] += static_cast<std::int64_t>(recs.size());
+      c.charge(par::WorkKind::kClassify, static_cast<double>(recs.size()));
+      c.charge(par::WorkKind::kPackByte,
+               static_cast<double>(recs.size() * sizeof(ParticleRecord)));
+      c.send_pod_vec(dest, 0, recs);
+    }
+  });
+
+  rt.superstep(phase, [&](par::Comm& c) {
+    const int r = c.rank();
+    for (const auto& msg : c.inbox())
+      append_records(stores[r], msg.view<ParticleRecord>());
+    removed[r].assign(stores[r].size(), 0);
+  });
+
+  for (const std::int64_t m : migrated) stats.migrated += m;
+  for (const std::int64_t d : dropped) stats.dropped += d;
+  for (int r = 0; r < nranks; ++r)
+    stats.kept += static_cast<std::int64_t>(stores[r].size());
+  stats.kept -= stats.migrated;
+  return stats;
+}
+
 }  // namespace
 
 const char* strategy_name(Strategy s) {
@@ -310,24 +372,41 @@ const char* strategy_name(Strategy s) {
     case Strategy::kCentralized: return "CC";
     case Strategy::kDistributed: return "DC";
     case Strategy::kHierarchical: return "HC";
+    case Strategy::kNeighbor: return "NC";
   }
   return "?";
 }
 
-ExchangeStats exchange_particles(par::Runtime& rt, const std::string& phase,
-                                 Strategy strategy,
-                                 std::vector<dsmc::ParticleStore>& stores,
-                                 std::vector<std::vector<std::uint8_t>>& removed,
-                                 std::span<const std::int32_t> cell_owner,
-                                 int root) {
+Strategy parse_strategy(const std::string& name) {
+  if (name == "CC") return Strategy::kCentralized;
+  if (name == "DC") return Strategy::kDistributed;
+  if (name == "HC") return Strategy::kHierarchical;
+  if (name == "NC") return Strategy::kNeighbor;
+  DSMCPIC_CHECK_MSG(false, "unknown exchange strategy '" << name
+                                                         << "' (CC|DC|HC|NC)");
+  return Strategy::kDistributed;
+}
+
+ExchangeStats exchange_particles(
+    par::Runtime& rt, const std::string& phase, Strategy strategy,
+    std::vector<dsmc::ParticleStore>& stores,
+    std::vector<std::vector<std::uint8_t>>& removed,
+    std::span<const std::int32_t> cell_owner, int root,
+    const std::vector<std::vector<int>>* neighbors) {
   DSMCPIC_CHECK(static_cast<int>(stores.size()) == rt.size());
   DSMCPIC_CHECK(removed.size() == stores.size());
-  DSMCPIC_CHECK(root >= 0 && root < rt.size());
+  DSMCPIC_CHECK(root >= 0 && root < rt.active_ranks());
   switch (strategy) {
     case Strategy::kCentralized:
       return exchange_centralized(rt, phase, stores, removed, cell_owner, root);
     case Strategy::kHierarchical:
       return exchange_hierarchical(rt, phase, stores, removed, cell_owner);
+    case Strategy::kNeighbor:
+      // No adjacency from the caller -> dense fallback (never under-charge).
+      if (neighbors)
+        return exchange_neighbor(rt, phase, stores, removed, cell_owner,
+                                 *neighbors);
+      break;
     case Strategy::kDistributed:
       break;
   }

@@ -15,10 +15,20 @@
 //    volume (~2M within nodes + M between) while shrinking the transaction
 //    count that throttles DC at scale.
 //
+//  * Neighbor (NC): like DC, but the per-rank handshake loop walks a
+//    partition-adjacency neighbor list instead of every peer — O(degree)
+//    per rank instead of O(N). Payloads still ship to ANY destination (a
+//    fast particle can out-run the adjacency), and the round still charges
+//    the dense N(N-1) logical-transaction cost to the congestion model via
+//    Runtime::hint_round_transactions_all_pairs(), so the virtual-time
+//    model stays honest; only the host-side loop is sparsified. This is
+//    what makes O(10^3-10^4)-rank sweeps tractable.
+//
 // The ghost-cell method of neighbor-only CFD communication cannot express
-// any of this: after a DSMC step a particle's destination cell may be owned
-// by any rank (long migration distances), so all strategies address
-// all-pairs.
+// the first three: after a DSMC step a particle's destination cell may be
+// owned by any rank (long migration distances), so those strategies address
+// all-pairs. All strategies operate on the runtime's ACTIVE rank prefix
+// (elastic ensembles park the tail; parked stores must be empty).
 
 #include <cstdint>
 #include <span>
@@ -30,9 +40,11 @@
 
 namespace dsmcpic::exchange {
 
-enum class Strategy { kCentralized, kDistributed, kHierarchical };
+enum class Strategy { kCentralized, kDistributed, kHierarchical, kNeighbor };
 
 const char* strategy_name(Strategy s);
+/// Parses "CC" / "DC" / "HC" / "NC" (case-sensitive; throws on anything else).
+Strategy parse_strategy(const std::string& name);
 
 struct ExchangeStats {
   std::int64_t migrated = 0;  // particles that changed ranks
@@ -48,11 +60,16 @@ struct ExchangeStats {
 /// `removed[r]` is reset to match its new size. Costs are charged under
 /// `phase` on `rt`. Root (centralized strategy only) defaults to rank 0, as
 /// in the paper's Fig. 3.
-ExchangeStats exchange_particles(par::Runtime& rt, const std::string& phase,
-                                 Strategy strategy,
-                                 std::vector<dsmc::ParticleStore>& stores,
-                                 std::vector<std::vector<std::uint8_t>>& removed,
-                                 std::span<const std::int32_t> cell_owner,
-                                 int root = 0);
+///
+/// `neighbors` (kNeighbor only): per-rank partition-adjacency lists sized
+/// `rt.size()` — `neighbors[r]` holds the ranks owning cells adjacent to
+/// rank r's cells. Null falls back to the dense distributed pattern, so a
+/// caller without adjacency never silently under-charges handshakes.
+ExchangeStats exchange_particles(
+    par::Runtime& rt, const std::string& phase, Strategy strategy,
+    std::vector<dsmc::ParticleStore>& stores,
+    std::vector<std::vector<std::uint8_t>>& removed,
+    std::span<const std::int32_t> cell_owner, int root = 0,
+    const std::vector<std::vector<int>>* neighbors = nullptr);
 
 }  // namespace dsmcpic::exchange

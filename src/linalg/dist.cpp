@@ -141,7 +141,7 @@ void halo_exchange(par::Runtime& rt, const std::string& phase,
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     for (const auto& plan : layout.send_plan[r]) {
-      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto buf = c.acquire_payload(plan.idx.size() * sizeof(double));
       auto* d = reinterpret_cast<double*>(buf.data());
       for (std::size_t i = 0; i < plan.idx.size(); ++i)
         d[i] = local[r][plan.idx[i]];
@@ -219,7 +219,7 @@ SolveResult dist_cg(par::Runtime& rt, const std::string& phase,
                     const SolveOptions& opt) {
   const DistLayout& l = a.layout;
   const int nranks = l.nranks;
-  DSMCPIC_CHECK(rt.size() == nranks);
+  DSMCPIC_CHECK(rt.active_ranks() == nranks);
 
   // Per-rank state: owned-sized r, z, q, x; local-sized p (owned + halo).
   std::vector<std::vector<double>> rvec(nranks), zvec(nranks), qvec(nranks),
@@ -258,7 +258,7 @@ SolveResult dist_cg(par::Runtime& rt, const std::string& phase,
   auto send_halo = [&](par::Comm& c) {
     const int r = c.rank();
     for (const auto& plan : l.send_plan[r]) {
-      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto buf = c.acquire_payload(plan.idx.size() * sizeof(double));
       auto* d = reinterpret_cast<double*>(buf.data());
       for (std::size_t i = 0; i < plan.idx.size(); ++i)
         d[i] = pvec[r][plan.idx[i]];
@@ -400,7 +400,7 @@ SolveResult dist_bicgstab(par::Runtime& rt, const std::string& phase,
                           DistVector& x, const SolveOptions& opt) {
   const DistLayout& l = a.layout;
   const int nranks = l.nranks;
-  DSMCPIC_CHECK(rt.size() == nranks);
+  DSMCPIC_CHECK(rt.active_ranks() == nranks);
 
   // Per-rank state: owned-sized r, r0, s, t, v, p; local-sized work vector
   // for the two halo'd matvecs (its owned prefix carries M^-1 p / M^-1 s).
@@ -428,7 +428,7 @@ SolveResult dist_bicgstab(par::Runtime& rt, const std::string& phase,
   auto send_halo = [&](par::Comm& c) {
     const int r = c.rank();
     for (const auto& plan : l.send_plan[r]) {
-      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto buf = c.acquire_payload(plan.idx.size() * sizeof(double));
       auto* d = reinterpret_cast<double*>(buf.data());
       for (std::size_t i = 0; i < plan.idx.size(); ++i)
         d[i] = work[r][plan.idx[i]];

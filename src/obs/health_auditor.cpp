@@ -163,8 +163,21 @@ void HealthAuditor::check_poisson(int iterations, double residual,
 void HealthAuditor::check_ownership(
     std::span<const std::int32_t> owner, int nranks,
     const std::vector<std::vector<std::int32_t>>& rank_cells) {
-  bool ok = static_cast<int>(rank_cells.size()) == nranks;
+  // Under an elastic ensemble rank_cells keeps its NOMINAL size while
+  // `nranks` is the active count: the lists beyond the active prefix must
+  // be empty (parked ranks own nothing).
+  bool ok = static_cast<int>(rank_cells.size()) >= nranks;
   std::string detail;
+  for (std::size_t r = static_cast<std::size_t>(nranks);
+       ok && r < rank_cells.size(); ++r) {
+    if (!rank_cells[r].empty()) {
+      std::ostringstream os;
+      os << "parked rank " << r << " still lists " << rank_cells[r].size()
+         << " cell(s)";
+      detail = os.str();
+      ok = false;
+    }
+  }
   // seen[c] counts appearances of cell c across all rank lists.
   std::vector<std::int32_t> seen(owner.size(), 0);
   for (std::size_t r = 0; ok && r < rank_cells.size(); ++r) {

@@ -121,7 +121,9 @@ class HealthAuditor {
   void check_poisson(int iterations, double residual, double rel_tol,
                      bool converged);
   /// `owner` maps each coarse cell to a rank; `rank_cells[r]` lists rank
-  /// r's cells. Verifies the partition is exact.
+  /// r's cells. Verifies the partition is exact over the `nranks` ACTIVE
+  /// ranks; `rank_cells` may be longer (nominal size) as long as every
+  /// parked list beyond the active prefix is empty.
   void check_ownership(std::span<const std::int32_t> owner, int nranks,
                        const std::vector<std::vector<std::int32_t>>& rank_cells);
   /// After a rebalance: the policy's learned cost estimate vs the measured

@@ -33,6 +33,16 @@ void write_run_report(std::ostream& os, const RunReport& report) {
   w.kv("horizon", report.config.horizon);
   w.end_object();
 
+  w.key("ensemble");
+  w.begin_object();
+  w.kv("kind", report.ensemble.kind);
+  w.kv("ranks_min", report.ensemble.ranks_min);
+  w.kv("ranks_max", report.ensemble.ranks_max);
+  w.kv("active_initial", report.ensemble.active_initial);
+  w.kv("active_final", report.ensemble.active_final);
+  w.kv("resizes", report.ensemble.resizes);
+  w.end_object();
+
   w.key("virtual_time");
   w.begin_object();
   w.kv("total_seconds", report.total_virtual_time);

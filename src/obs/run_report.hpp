@@ -56,6 +56,19 @@ struct RunReportConfig {
   int horizon = 0;             // look-ahead horizon H (steps)
 };
 
+/// Elastic rank ensemble summary (DESIGN.md §2i). `ranks` in the config
+/// above stays the NOMINAL machine size; this section says how much of it
+/// was actually dispatched. active_final == ranks and resizes == 0 on the
+/// fixed dense path.
+struct RunReportEnsemble {
+  std::string kind = "fixed";  // "fixed" | "elastic"
+  int ranks_min = 0;
+  int ranks_max = 0;
+  int active_initial = 0;
+  int active_final = 0;
+  int resizes = 0;
+};
+
 /// One when-to-rebalance decision, copied out of the balancer's policy by
 /// the caller (plain values — obs stays below balance in the layer graph).
 struct RunReportDecision {
@@ -81,6 +94,7 @@ struct RunReportSteps {
 
 struct RunReport {
   RunReportConfig config;
+  RunReportEnsemble ensemble;
   double total_virtual_time = 0.0;
   std::vector<RunReportPhase> phases;
   RunReportSteps steps;

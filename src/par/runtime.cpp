@@ -27,15 +27,27 @@ void Comm::charge(WorkKind kind, double units) {
 
 void Comm::send(int dst, int tag, std::span<const std::byte> payload,
                 CostClass cls) {
-  send_owned(dst, tag, std::vector<std::byte>(payload.begin(), payload.end()),
-             cls);
+  // Copy into a pooled buffer instead of a fresh allocation: the buffer
+  // returns to this rank's pool after delivery, so steady-state traffic
+  // recycles the same memory superstep after superstep.
+  auto buf = acquire_payload(payload.size());
+  if (!payload.empty())
+    std::memcpy(buf.data(), payload.data(), payload.size());
+  send_owned(dst, tag, std::move(buf), cls);
+}
+
+std::vector<std::byte> Comm::acquire_payload(std::size_t nbytes) {
+  DSMCPIC_CHECK_MSG(rt_->in_superstep_,
+                    "acquire_payload outside a superstep");
+  return rt_->pool_acquire(rank_, nbytes);
 }
 
 void Comm::send_owned(int dst, int tag, std::vector<std::byte>&& payload,
                       CostClass cls) {
   DSMCPIC_CHECK_MSG(rt_->in_superstep_, "send() outside a superstep");
-  DSMCPIC_CHECK_MSG(dst >= 0 && dst < rt_->size(), "bad destination rank "
-                                                       << dst);
+  DSMCPIC_CHECK_MSG(dst >= 0 && dst < rt_->active_,
+                    "bad destination rank " << dst << " (active set is [0, "
+                                            << rt_->active_ << "))");
   Message m;
   m.src = rank_;
   m.dst = dst;
@@ -65,6 +77,7 @@ double Comm::alpha_to(int peer) const {
 Runtime::Runtime(int nranks, Topology topology, double particle_scale,
                  double grid_scale, ExecOptions exec)
     : nranks_(nranks),
+      active_(nranks),
       topo_(std::move(topology)),
       particle_scale_(particle_scale),
       grid_scale_(grid_scale),
@@ -72,7 +85,8 @@ Runtime::Runtime(int nranks, Topology topology, double particle_scale,
       clocks_(nranks, 0.0),
       pending_(nranks),
       inbox_(nranks),
-      staged_(nranks) {
+      staged_(nranks),
+      pools_(nranks) {
   DSMCPIC_CHECK_MSG(nranks >= 1, "runtime needs at least one rank");
   DSMCPIC_CHECK_MSG(topo_.nranks() == nranks,
                     "topology sized for " << topo_.nranks() << " ranks, not "
@@ -126,7 +140,7 @@ void Runtime::trace_spans_since(const std::vector<double>& pre, int pid,
     trace_work_keys_ready_ = true;
   }
   const int tp = trace_phase(pid);
-  for (int r = 0; r < nranks_; ++r) {
+  for (int r = 0; r < active_; ++r) {
     if (!(clocks_[r] > pre[r])) continue;
     trace::Span s;
     s.rank = r;
@@ -162,7 +176,70 @@ void Runtime::charge_busy(int rank, int phase, double seconds) {
 }
 
 double Runtime::tree_stages() const {
-  return std::ceil(std::log2(std::max(2, nranks_)));
+  return std::ceil(std::log2(std::max(2, active_)));
+}
+
+void Runtime::set_active_ranks(int n) {
+  DSMCPIC_CHECK_MSG(!in_superstep_,
+                    "set_active_ranks inside a superstep body");
+  DSMCPIC_CHECK_MSG(undelivered_messages() == 0,
+                    "set_active_ranks with messages in flight");
+  DSMCPIC_CHECK_MSG(n >= 1 && n <= nranks_,
+                    "active rank count " << n << " out of [1, " << nranks_
+                                         << "]");
+  if (n > active_) {
+    // Reactivated ranks resume at the active frontier: a parked rank cannot
+    // rejoin in the past (its frozen clock may predate work the active set
+    // already did), and joining to the max keeps virtual time monotone.
+    double frontier = 0.0;
+    for (int r = 0; r < active_; ++r)
+      frontier = std::max(frontier, clocks_[r]);
+    for (int r = active_; r < n; ++r)
+      clocks_[r] = std::max(clocks_[r], frontier);
+  }
+  active_ = n;
+}
+
+std::vector<std::byte> Runtime::pool_acquire(int rank, std::size_t nbytes) {
+  PayloadPool& p = pools_[rank];
+  ++p.acquires;
+  // Best fit: smallest free buffer whose capacity covers the request. The
+  // free list is sorted ascending by capacity, so this is a lower_bound and
+  // the reuse order is deterministic.
+  auto it = std::lower_bound(p.free.begin(), p.free.end(), nbytes,
+                             [](const std::vector<std::byte>& b,
+                                std::size_t n) { return b.capacity() < n; });
+  if (it == p.free.end()) {
+    ++p.misses;
+    return std::vector<std::byte>(nbytes);  // zero-filled, like the hit path
+  }
+  std::vector<std::byte> buf = std::move(*it);
+  p.free.erase(it);
+  buf.clear();
+  buf.resize(nbytes);  // value-initializes (zeros) without reallocating
+  return buf;
+}
+
+void Runtime::pool_recycle(int rank, std::vector<std::byte>&& buf) {
+  if (buf.capacity() == 0) return;  // nothing worth keeping
+  PayloadPool& p = pools_[rank];
+  ++p.recycles;
+  buf.clear();
+  const std::size_t cap = buf.capacity();
+  auto it = std::lower_bound(p.free.begin(), p.free.end(), cap,
+                             [](const std::vector<std::byte>& b,
+                                std::size_t n) { return b.capacity() < n; });
+  p.free.insert(it, std::move(buf));
+}
+
+PoolStats Runtime::pool_stats() const {
+  PoolStats s;
+  for (const PayloadPool& p : pools_) {
+    s.acquires += p.acquires;
+    s.misses += p.misses;
+    s.recycles += p.recycles;
+  }
+  return s;
 }
 
 void Runtime::superstep(const std::string& phase,
@@ -171,9 +248,11 @@ void Runtime::superstep(const std::string& phase,
   // runs: Comm::charge on worker threads only ever *reads* the id, so the
   // phase registry map is never mutated concurrently.
   const int pid = phase_id(phase);
-  // Deliver messages produced in the previous superstep.
-  for (int r = 0; r < nranks_; ++r) inbox_[r] = std::move(pending_[r]);
-  for (int r = 0; r < nranks_; ++r) pending_[r].clear();
+  // Deliver messages produced in the previous superstep. swap (not move +
+  // clear) so pending_ keeps its vector capacity — steady-state supersteps
+  // reuse the same Message arrays without reallocating. Only the active
+  // prefix can hold messages (send_owned rejects parked destinations).
+  for (int r = 0; r < active_; ++r) std::swap(inbox_[r], pending_[r]);
 
   if (tracer_) {
     trace_seq_ = tracer_->next_seq();
@@ -183,17 +262,18 @@ void Runtime::superstep(const std::string& phase,
 
   in_superstep_ = true;
   current_phase_for_comm_ = pid;
-  for (auto& s : staged_) s.clear();
+  for (int r = 0; r < active_; ++r) staged_[r].clear();
   if (pool_) {
     // Each rank writes only its own slots (clock, busy row entry, staging
     // buffer, its caller-side state), so the dynamic schedule cannot change
     // any result. parallel_for's join orders all writes before the merge.
-    pool_->parallel_for(nranks_, [&](int r) {
+    // Parked ranks are not dispatched at all: O(active) per superstep.
+    pool_->parallel_for(active_, [&](int r) {
       Comm c(this, r);
       fn(c);
     });
   } else {
-    for (int r = 0; r < nranks_; ++r) {
+    for (int r = 0; r < active_; ++r) {
       Comm c(this, r);
       fn(c);
     }
@@ -208,12 +288,20 @@ void Runtime::superstep(const std::string& phase,
   if (tracer_)
     trace_spans_since(trace_mid_, pid, trace::SpanKind::kComm, trace_seq_,
                       /*with_work=*/false);
-  for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
+  // Consumed inboxes: recycle each payload back to its SENDER's pool (the
+  // rank that will size a like payload next step), in deterministic
+  // dst-major, src-major order, on the driver thread.
+  for (int r = 0; r < active_; ++r) {
+    for (Message& m : inbox_[r]) pool_recycle(m.src, std::move(m.payload));
+    inbox_[r].clear();
+  }
+  ++supersteps_;
 }
 
 std::size_t Runtime::staged_count() const {
   std::size_t n = 0;
-  for (const auto& s : staged_) n += s.size();
+  // Parked ranks never run a body, so only the active prefix can stage.
+  for (int r = 0; r < active_; ++r) n += staged_[r].size();
   return n;
 }
 
@@ -236,15 +324,17 @@ void Runtime::route_messages(int phase) {
   // scale (paper Sec. IV-B3, Fig. 11).
   const double round_transactions =
       hint ? static_cast<double>(hint) : static_cast<double>(staged);
-  const double per_node = round_transactions / std::max(1, topo_.nodes_in_use());
+  const double per_node = round_transactions / std::max(1, active_nodes());
   const double congestion_mult = 1.0 + prof.congestion * per_node;
 
   // Merge the per-sender buffers in (src rank, send order): each inbox
   // receives its messages sorted by source rank, ties broken by the order
   // the source sent them. This is a documented guarantee (par_test
   // InboxOrderingIsSrcMajorSendOrder) and matches what the sequential
-  // 0..N-1 execution produced before per-rank staging existed.
-  for (auto& buf : staged_) {
+  // 0..N-1 execution produced before per-rank staging existed. Only the
+  // active prefix can have staged sends.
+  for (int src = 0; src < active_; ++src) {
+    auto& buf = staged_[src];
     for (Message& m : buf) {
       const double bytes = static_cast<double>(m.payload.size()) * m.byte_scale;
       const double cost =
@@ -283,40 +373,42 @@ void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
   const MachineProfile& prof = topo_.profile();
   if (prof.nic_overhead <= 0.0) return;
   const int ppn = prof.cores_per_node;
-  const int nodes = topo_.nodes_in_use();
+  const int nodes = active_nodes();
   if (nodes <= 1 && hint == 0) return;  // single node: no inter-node traffic
 
   // Per-node inter-node message load. Ranks on one physical node share a
   // NIC, which processes messages serially (and slower under incast).
-  std::vector<double> load(static_cast<std::size_t>(nodes), 0.0);
+  // Member scratch: sized once, zeroed per round, no steady-state allocation.
+  nic_load_.assign(static_cast<std::size_t>(nodes), 0.0);
   if (hint) {
     // Logical all-pairs round (distributed exchange): assume the hinted
     // transactions are spread uniformly over ordered rank pairs; only the
-    // inter-node share hits the NICs.
+    // inter-node share hits the NICs. Parked ranks send nothing, so the
+    // pair population is the active prefix.
     const double inter_share =
-        nranks_ > 1
-            ? std::max(0.0, 1.0 - static_cast<double>(ppn - 1) / (nranks_ - 1))
+        active_ > 1
+            ? std::max(0.0, 1.0 - static_cast<double>(ppn - 1) / (active_ - 1))
             : 0.0;
     const double per_node = static_cast<double>(hint) * inter_share / nodes;
-    std::fill(load.begin(), load.end(), per_node);
+    std::fill(nic_load_.begin(), nic_load_.end(), per_node);
   } else {
-    for (const auto& buf : staged_) {
-      for (const Message& m : buf) {
+    for (int src = 0; src < active_; ++src) {
+      for (const Message& m : staged_[src]) {
         const int ns = m.src / ppn;
         const int nd = m.dst / ppn;
         if (ns == nd) continue;
-        load[ns] += 1.0;
-        load[nd] += 1.0;
+        nic_load_[ns] += 1.0;
+        nic_load_[nd] += 1.0;
       }
     }
   }
 
   for (int node = 0; node < nodes; ++node) {
-    if (load[node] <= 0.0) continue;
-    const double t = load[node] * prof.nic_overhead *
-                     (1.0 + load[node] * prof.nic_contention);
+    if (nic_load_[node] <= 0.0) continue;
+    const double t = nic_load_[node] * prof.nic_overhead *
+                     (1.0 + nic_load_[node] * prof.nic_contention);
     const int lo = node * ppn;
-    const int hi = std::min(nranks_, lo + ppn);
+    const int hi = std::min(active_, lo + ppn);
     for (int r = lo; r < hi; ++r) {
       clocks_[r] += t;
       charge_busy(r, phase, t);
@@ -325,9 +417,11 @@ void Runtime::apply_nic_serialization(int phase, std::uint64_t hint) {
 }
 
 void Runtime::sync_clocks(double extra_cost_per_rank, int phase) {
+  // Parked ranks neither arrive at nor leave the barrier: their clocks stay
+  // frozen and contribute nothing to the maximum.
   double mx = 0.0;
   int argmax = 0;
-  for (int r = 0; r < nranks_; ++r) {
+  for (int r = 0; r < active_; ++r) {
     if (clocks_[r] > mx) {
       mx = clocks_[r];
       argmax = r;
@@ -343,7 +437,7 @@ void Runtime::sync_clocks(double extra_cost_per_rank, int phase) {
     s.arrive = clocks_;
     tracer_->add_sync(std::move(s));
   }
-  for (int r = 0; r < nranks_; ++r) {
+  for (int r = 0; r < active_; ++r) {
     clocks_[r] = mx + extra_cost_per_rank;
     charge_busy(r, phase, extra_cost_per_rank);
   }
@@ -356,7 +450,7 @@ void Runtime::barrier(const std::string& phase) {
 
 double Runtime::allreduce_sum(const std::string& phase,
                               std::span<const double> vals) {
-  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == active_);
   const int pid = phase_id(phase);
   const double cost =
       2.0 * tree_stages() * topo_.profile().alpha_tree +
@@ -369,7 +463,7 @@ double Runtime::allreduce_sum(const std::string& phase,
 
 double Runtime::allreduce_max(const std::string& phase,
                               std::span<const double> vals) {
-  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == active_);
   const int pid = phase_id(phase);
   sync_clocks(2.0 * tree_stages() * topo_.profile().alpha_tree, pid);
   double m = -std::numeric_limits<double>::infinity();
@@ -379,7 +473,7 @@ double Runtime::allreduce_max(const std::string& phase,
 
 double Runtime::allreduce_min(const std::string& phase,
                               std::span<const double> vals) {
-  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == active_);
   const int pid = phase_id(phase);
   sync_clocks(2.0 * tree_stages() * topo_.profile().alpha_tree, pid);
   double m = std::numeric_limits<double>::infinity();
@@ -389,7 +483,7 @@ double Runtime::allreduce_min(const std::string& phase,
 
 std::vector<double> Runtime::allreduce_sum_vec(
     const std::string& phase, const std::vector<std::vector<double>>& per_rank) {
-  DSMCPIC_CHECK(static_cast<int>(per_rank.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(per_rank.size()) == active_);
   const std::size_t len = per_rank.empty() ? 0 : per_rank[0].size();
   for (const auto& v : per_rank) DSMCPIC_CHECK(v.size() == len);
   const int pid = phase_id(phase);
@@ -406,12 +500,12 @@ std::vector<double> Runtime::allreduce_sum_vec(
 
 std::vector<std::int64_t> Runtime::exscan_sum(
     const std::string& phase, std::span<const std::int64_t> vals) {
-  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == active_);
   const int pid = phase_id(phase);
   sync_clocks(tree_stages() * topo_.profile().alpha_tree, pid);
-  std::vector<std::int64_t> out(nranks_, 0);
+  std::vector<std::int64_t> out(active_, 0);
   std::int64_t acc = 0;
-  for (int r = 0; r < nranks_; ++r) {
+  for (int r = 0; r < active_; ++r) {
     out[r] = acc;
     acc += vals[r];
   }
@@ -420,16 +514,16 @@ std::vector<std::int64_t> Runtime::exscan_sum(
 
 std::vector<double> Runtime::allgather(const std::string& phase,
                                        std::span<const double> vals) {
-  DSMCPIC_CHECK(static_cast<int>(vals.size()) == nranks_);
+  DSMCPIC_CHECK(static_cast<int>(vals.size()) == active_);
   const int pid = phase_id(phase);
   const double cost = tree_stages() * topo_.profile().alpha_tree +
-                      8.0 * nranks_ * topo_.profile().beta;
+                      8.0 * active_ * topo_.profile().beta;
   sync_clocks(cost, pid);
   return std::vector<double>(vals.begin(), vals.end());
 }
 
 void Runtime::charge_bcast(const std::string& phase, int root, double bytes) {
-  DSMCPIC_CHECK(root >= 0 && root < nranks_);
+  DSMCPIC_CHECK(root >= 0 && root < active_);
   const int pid = phase_id(phase);
   const double cost = tree_stages() * (topo_.profile().alpha_tree +
                                        bytes * topo_.profile().beta);
@@ -438,7 +532,7 @@ void Runtime::charge_bcast(const std::string& phase, int root, double bytes) {
 
 void Runtime::charge_gather(const std::string& phase, int root,
                             double bytes_per_rank) {
-  DSMCPIC_CHECK(root >= 0 && root < nranks_);
+  DSMCPIC_CHECK(root >= 0 && root < active_);
   const int pid = phase_id(phase);
   const MachineProfile& prof = topo_.profile();
   std::uint32_t seq = 0;
@@ -446,9 +540,10 @@ void Runtime::charge_gather(const std::string& phase, int root,
     seq = tracer_->next_seq();
     trace_pre_ = clocks_;
   }
-  // Root receives N-1 serialized messages; every other rank pays one send.
+  // Root receives N-1 serialized messages; every other active rank pays one
+  // send (parked ranks have nothing to contribute).
   double root_cost = 0.0;
-  for (int r = 0; r < nranks_; ++r) {
+  for (int r = 0; r < active_; ++r) {
     if (r == root) continue;
     const double c = topo_.alpha(r, root) + bytes_per_rank * prof.beta;
     clocks_[r] += c;
@@ -464,7 +559,7 @@ void Runtime::charge_gather(const std::string& phase, int root,
 
 void Runtime::charge_rank(const std::string& phase, int rank, WorkKind kind,
                           double units) {
-  DSMCPIC_CHECK(rank >= 0 && rank < nranks_);
+  DSMCPIC_CHECK(rank >= 0 && rank < active_);
   const int pid = phase_id(phase);
   const double cost = units * topo_.profile().costs[static_cast<int>(kind)] *
                       scale_of(cost_class(kind));
@@ -535,6 +630,8 @@ void Runtime::save(std::ostream& os) const {
   DSMCPIC_CHECK_MSG(staged_count() == 0, "cannot checkpoint mid-superstep");
   for (const auto& p : pending_)
     DSMCPIC_CHECK_MSG(p.empty(), "cannot checkpoint with undelivered messages");
+  io::write_pod<std::int32_t>(os, active_);
+  io::write_pod<std::uint64_t>(os, supersteps_);
   io::write_vec(os, clocks_);
   io::write_pod<std::uint64_t>(os, phase_names_.size());
   for (std::size_t i = 0; i < phase_names_.size(); ++i) {
@@ -546,6 +643,12 @@ void Runtime::save(std::ostream& os) const {
 }
 
 void Runtime::load(std::istream& is) {
+  const auto active = io::read_pod<std::int32_t>(is);
+  DSMCPIC_CHECK_MSG(active >= 1 && active <= nranks_,
+                    "checkpoint active-rank count " << active
+                                                    << " out of range");
+  active_ = active;  // restored verbatim; clocks below carry the frontier
+  supersteps_ = io::read_pod<std::uint64_t>(is);
   clocks_ = io::read_vec<double>(is);
   DSMCPIC_CHECK_MSG(static_cast<int>(clocks_.size()) == nranks_,
                     "checkpoint rank count mismatch");

@@ -115,11 +115,13 @@ class Comm {
                   CostClass cls = CostClass::kParticle);
 
   /// Builds a byte buffer from trivially copyable elements and move-sends it.
+  /// The buffer comes from this rank's payload pool (zero steady-state
+  /// allocations once the pool is warm).
   template <typename T>
   void send_pod_vec(int dst, int tag, const std::vector<T>& elems,
                     CostClass cls = CostClass::kParticle) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> bytes(elems.size() * sizeof(T));
+    auto bytes = acquire_payload(elems.size() * sizeof(T));
     if (!bytes.empty())
       std::memcpy(bytes.data(), elems.data(), bytes.size());
     send_owned(dst, tag, std::move(bytes), cls);
@@ -129,6 +131,11 @@ class Comm {
   /// handshake transactions that carry no data but still cost latency, e.g.
   /// the distributed strategy's empty send/recv pairs).
   void charge_comm_seconds(double seconds);
+
+  /// Returns a payload buffer of exactly `nbytes` (zero-filled) from this
+  /// rank's buffer pool; pass it to send_owned and it returns to the pool
+  /// after delivery. Rank-private, so concurrent bodies never contend.
+  std::vector<std::byte> acquire_payload(std::size_t nbytes);
 
   /// Point-to-point latency to a peer under the current topology (no
   /// congestion term).
@@ -164,6 +171,15 @@ struct PhaseStats {
   double bytes = 0.0;              // scaled payload bytes routed
 };
 
+/// Cumulative payload-pool accounting (summed over ranks). In steady state
+/// `misses` stops growing: every acquire is served from the free list, so
+/// supersteps allocate no payload memory (asserted by par_test).
+struct PoolStats {
+  std::uint64_t acquires = 0;  // pooled buffers handed out
+  std::uint64_t misses = 0;    // acquires that had to allocate fresh
+  std::uint64_t recycles = 0;  // delivered payloads returned to a pool
+};
+
 class Runtime {
  public:
   /// The scales map a scaled-down run back onto paper-sized virtual
@@ -174,6 +190,30 @@ class Runtime {
           double grid_scale = 1.0, ExecOptions exec = {});
 
   int size() const { return nranks_; }
+
+  // ---- active-rank set (elastic ensembles, DESIGN.md §2i) ---------------
+  //
+  // The active set is a contiguous prefix [0, active). Parked ranks are
+  // skipped by superstep dispatch and every collective — all per-superstep
+  // work is O(active), not O(nranks) — and their clocks are frozen, so they
+  // contribute zero virtual time. When active == size() (the default and
+  // the `--ensemble fixed` path) every loop below visits exactly the ranks
+  // it always did, bit-for-bit.
+
+  /// Ranks currently participating in supersteps and collectives.
+  int active_ranks() const { return active_; }
+  /// Physical nodes spanned by the active prefix (rank/ppn node indexing,
+  /// the same mapping the NIC serialization model uses).
+  int active_nodes() const {
+    return (active_ + topo_.profile().cores_per_node - 1) /
+           topo_.profile().cores_per_node;
+  }
+  /// Resizes the active prefix. Driver-only, between supersteps, with no
+  /// messages in flight. Growing joins the reactivated ranks' clocks to the
+  /// current active frontier (a rank cannot resume in the past); shrinking
+  /// freezes the parked ranks' clocks where they stand.
+  void set_active_ranks(int n);
+
   ExecMode exec_mode() const { return exec_.mode; }
   /// Worker lanes actually used by kThreaded dispatch (1 for kSequential).
   int exec_threads() const;
@@ -210,6 +250,23 @@ class Runtime {
                       "hint_round_transactions inside a superstep body");
     congestion_hint_ = n;
   }
+
+  /// Hints the dense all-pairs transaction count N(N-1) over the ACTIVE
+  /// rank set for the next routing round. Sparse exchanges (neighbor lists)
+  /// that stand in for a logically dense round must use this instead of
+  /// computing the count themselves — the runtime owns the active-rank
+  /// count, so the congestion model stays honest under elastic ensembles.
+  void hint_round_transactions_all_pairs() {
+    hint_round_transactions(static_cast<std::uint64_t>(active_) *
+                            static_cast<std::uint64_t>(active_ - 1));
+  }
+
+  /// Supersteps executed so far (the denominator of the benches'
+  /// wall-clock-per-superstep lanes).
+  std::uint64_t supersteps() const { return supersteps_; }
+
+  /// Aggregate payload-pool counters (summed over ranks).
+  PoolStats pool_stats() const;
 
   // ---- synchronizing collectives (driver level) -------------------------
 
@@ -305,8 +362,14 @@ class Runtime {
   void apply_nic_serialization(int phase, std::uint64_t hint);
   double tree_stages() const;
   std::size_t staged_count() const;
+  /// Pops the best-fit buffer (smallest capacity >= nbytes) from `rank`'s
+  /// pool, or allocates fresh on a miss. Zero-filled to exactly nbytes.
+  std::vector<std::byte> pool_acquire(int rank, std::size_t nbytes);
+  /// Returns a delivered payload to `rank`'s pool (capacity-sorted insert).
+  void pool_recycle(int rank, std::vector<std::byte>&& buf);
 
   int nranks_;
+  int active_;  // active prefix [0, active_); == nranks_ unless elastic
   Topology topo_;
   double particle_scale_;
   double grid_scale_;
@@ -329,6 +392,18 @@ class Runtime {
   // walks staged_[0..N-1] in order, which reproduces the sequential
   // schedule's global send order bit-for-bit.
   std::vector<std::vector<Message>> staged_;
+  // Per-rank payload free lists, sorted ascending by capacity. A rank's
+  // body acquires only from its own pool (no locks, deterministic reuse
+  // order); delivered payloads are recycled back to their SENDER's pool on
+  // the driver thread at the end of the receiving superstep, so a
+  // steady-state communication pattern cycles the same buffers forever.
+  struct PayloadPool {
+    std::vector<std::vector<std::byte>> free;
+    std::uint64_t acquires = 0, misses = 0, recycles = 0;
+  };
+  std::vector<PayloadPool> pools_;
+  std::vector<double> nic_load_;  // per-node scratch (apply_nic_serialization)
+  std::uint64_t supersteps_ = 0;
   bool in_superstep_ = false;
   int current_phase_for_comm_ = -1;
   std::uint64_t congestion_hint_ = 0;  // one-shot; 0 = use staged count

@@ -89,7 +89,7 @@ void NodeExchange::reduce_to_owners(par::Runtime& rt, const std::string& phase,
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     for (const auto& plan : ghost_plan_[r]) {
-      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto buf = c.acquire_payload(plan.idx.size() * sizeof(double));
       auto* d = reinterpret_cast<double*>(buf.data());
       for (std::size_t i = 0; i < plan.idx.size(); ++i)
         d[i] = values[r][plan.idx[i]];
@@ -120,7 +120,7 @@ void NodeExchange::broadcast_from_owners(
   rt.superstep(phase, [&](par::Comm& c) {
     const int r = c.rank();
     for (const auto& plan : owner_plan_[r]) {
-      std::vector<std::byte> buf(plan.idx.size() * sizeof(double));
+      auto buf = c.acquire_payload(plan.idx.size() * sizeof(double));
       auto* d = reinterpret_cast<double*>(buf.data());
       for (std::size_t i = 0; i < plan.idx.size(); ++i)
         d[i] = values[r][plan.idx[i]];

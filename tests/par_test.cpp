@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <vector>
@@ -370,6 +371,149 @@ TEST(Runtime, HintInsideSuperstepBodyThrows) {
         if (c.rank() == 0) rt.hint_round_transactions(7);
       }),
       Error);
+}
+
+TEST(Runtime, PayloadPoolStopsAllocatingInSteadyState) {
+  // A fixed communication pattern repeated over supersteps: after the first
+  // two rounds (messages recycle to the sender's pool one superstep after
+  // delivery), acquires keep growing but misses — fresh allocations — stop.
+  Runtime rt = make_runtime(4);
+  auto round = [&] {
+    rt.superstep("ring", [](Comm& c) {
+      std::vector<double> vals(16, static_cast<double>(c.rank()));
+      c.send_pod_vec((c.rank() + 1) % c.size(), 0, vals,
+                     CostClass::kParticle);
+    });
+  };
+  for (int i = 0; i < 3; ++i) round();
+  const PoolStats warm = rt.pool_stats();
+  EXPECT_GT(warm.acquires, 0u);
+  for (int i = 0; i < 5; ++i) round();
+  const PoolStats steady = rt.pool_stats();
+  EXPECT_EQ(steady.misses, warm.misses) << "steady-state supersteps allocated";
+  EXPECT_GT(steady.acquires, warm.acquires);
+  EXPECT_GT(steady.recycles, warm.recycles);
+}
+
+TEST(Runtime, AcquiredPayloadsAreZeroFilled) {
+  // A recycled buffer must come back all-zero, exactly like a fresh one —
+  // otherwise a sender that skips bytes would leak the previous message.
+  Runtime rt = make_runtime(2);
+  rt.superstep("dirty", [](Comm& c) {
+    if (c.rank() != 0) return;
+    auto p = c.acquire_payload(64);
+    std::fill(p.begin(), p.end(), std::byte{0xFF});
+    c.send_owned(1, 0, std::move(p), CostClass::kParticle);
+  });
+  rt.superstep("deliver", [](Comm& c) {
+    if (c.rank() == 1) ASSERT_EQ(c.inbox().size(), 1u);
+  });
+  // The dirty buffer recycled to rank 0's pool; a smaller acquire must
+  // best-fit it and still hand back zeroes.
+  rt.superstep("reuse", [](Comm& c) {
+    if (c.rank() != 0) return;
+    auto p = c.acquire_payload(32);
+    for (const std::byte b : p) EXPECT_EQ(b, std::byte{0});
+    c.send_owned(1, 0, std::move(p), CostClass::kParticle);
+  });
+  const PoolStats st = rt.pool_stats();
+  EXPECT_EQ(st.recycles, 1u);
+}
+
+TEST(Runtime, ActiveRankShrinkFreezesParkedClocks) {
+  Runtime rt = make_runtime(4);
+  rt.superstep("warm", [](Comm& c) { c.charge(WorkKind::kGeneric, 100.0); });
+  rt.barrier("warm");
+  const double frozen = rt.clock(3);
+  rt.set_active_ranks(2);
+  EXPECT_EQ(rt.active_ranks(), 2);
+  std::vector<int> ran(4, 0);
+  rt.superstep("shrunk", [&](Comm& c) {
+    ran[static_cast<std::size_t>(c.rank())] = 1;
+    c.charge(WorkKind::kGeneric, 50.0);
+  });
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 0, 0}));
+  EXPECT_EQ(rt.clock(3), frozen) << "parked clocks must not advance";
+  EXPECT_GT(rt.clock(0), frozen);
+}
+
+TEST(Runtime, ActiveRankGrowJoinsAtFrontier) {
+  Runtime rt = make_runtime(4);
+  rt.set_active_ranks(2);
+  rt.superstep("half", [](Comm& c) { c.charge(WorkKind::kGeneric, 1000.0); });
+  rt.barrier("half");
+  const double frontier = rt.clock(0);
+  rt.set_active_ranks(4);
+  // Reactivated ranks cannot time-travel: they rejoin at the active
+  // frontier, never behind it.
+  EXPECT_GE(rt.clock(2), frontier);
+  EXPECT_GE(rt.clock(3), frontier);
+  std::vector<int> ran(4, 0);
+  rt.superstep("full", [&](Comm& c) {
+    ran[static_cast<std::size_t>(c.rank())] = 1;
+  });
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Runtime, SetActiveRanksValidation) {
+  Runtime rt = make_runtime(4);
+  EXPECT_THROW(rt.set_active_ranks(0), Error);
+  EXPECT_THROW(rt.set_active_ranks(5), Error);
+  rt.superstep("fly", [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v{1.0};
+      c.send_pod_vec(1, 0, v, CostClass::kParticle);
+    }
+  });
+  // Messages in flight: resizing would strand them.
+  EXPECT_THROW(rt.set_active_ranks(2), Error);
+  rt.superstep("drain", [](Comm&) {});
+  rt.set_active_ranks(2);
+  EXPECT_EQ(rt.active_ranks(), 2);
+}
+
+TEST(Runtime, SendToParkedRankThrows) {
+  Runtime rt = make_runtime(4);
+  rt.set_active_ranks(2);
+  EXPECT_THROW(rt.superstep("bad",
+                            [](Comm& c) {
+                              if (c.rank() != 0) return;
+                              std::vector<double> v{1.0};
+                              c.send_pod_vec(3, 0, v, CostClass::kParticle);
+                            }),
+               Error);
+}
+
+TEST(Runtime, HintAllPairsMatchesExplicitDenseHint) {
+  // The runtime-owned all-pairs hint must charge exactly what the dense
+  // exchange's explicit N(N-1) hint charges — and track the active set.
+  auto phase_time = [](int nranks, int active, bool explicit_hint) {
+    Runtime rt(6, Topology(MachineProfile::tianhe2(), 6), 1.0, 1.0);
+    if (active < nranks) rt.set_active_ranks(active);
+    if (explicit_hint)
+      rt.hint_round_transactions(static_cast<std::uint64_t>(active) *
+                                 static_cast<std::uint64_t>(active - 1));
+    else
+      rt.hint_round_transactions_all_pairs();
+    std::vector<std::byte> payload(4096);
+    rt.superstep("x", [&](Comm& c) {
+      if (c.rank() == 0) c.send(1, 0, payload, CostClass::kParticle);
+    });
+    rt.barrier("x");
+    return rt.total_time();
+  };
+  EXPECT_EQ(phase_time(6, 6, true), phase_time(6, 6, false));
+  EXPECT_EQ(phase_time(6, 4, true), phase_time(6, 4, false));
+  // Fewer active pairs -> less congestion -> strictly cheaper round.
+  EXPECT_LT(phase_time(6, 4, false), phase_time(6, 6, false));
+}
+
+TEST(Runtime, SuperstepCounterCounts) {
+  Runtime rt = make_runtime(2);
+  EXPECT_EQ(rt.supersteps(), 0u);
+  rt.superstep("a", [](Comm&) {});
+  rt.superstep("b", [](Comm&) {});
+  EXPECT_EQ(rt.supersteps(), 2u);
 }
 
 TEST(ExecMode, ParseAndName) {
