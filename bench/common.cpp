@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "fleet/report.hpp"
 #include "obs/health_auditor.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/run_report.hpp"
@@ -117,6 +118,43 @@ BenchOptions CommonFlags::finish() const {
   return o;
 }
 
+FleetFlags::FleetFlags(Cli& cli) {
+  slots_ = cli.add_int("fleet-slots", 4,
+                       "concurrent runs (one thread-pool slot each)");
+  runs_ = cli.add_int("fleet-runs", 8,
+                      "total runs to execute (round-robin over scenarios)");
+  scenarios_ = cli.add_string(
+      "fleet-scenarios", "",
+      "comma-separated scenario names (empty = the whole corpus: "
+      "nozzle,reentry,twin-plume,pulsed-inlet)");
+  lease_ = cli.add_int(
+      "fleet-lease", 0,
+      "preemption granularity: max DSMC steps per slot lease before the run "
+      "is checkpointed and requeued (0 = run to completion)");
+  results_dir_ = cli.add_string(
+      "results-dir", "",
+      "per-run output root (<dir>/<run_id>/run_report.json + digest.txt, "
+      "plus <dir>/fleet_summary.json); required for --fleet-lease");
+  out_ = cli.add_string("out", "",
+                        "write fleet throughput lanes as JSON to this path");
+}
+
+FleetBenchOptions FleetFlags::finish() const {
+  FleetBenchOptions o;
+  o.slots = static_cast<int>(*slots_);
+  o.runs = static_cast<int>(*runs_);
+  o.scenarios = *scenarios_;
+  o.lease = static_cast<int>(*lease_);
+  o.results_dir = *results_dir_;
+  o.out = *out_;
+  DSMCPIC_CHECK_MSG(o.slots >= 1, "--fleet-slots must be >= 1");
+  DSMCPIC_CHECK_MSG(o.runs >= 1, "--fleet-runs must be >= 1");
+  DSMCPIC_CHECK_MSG(o.lease >= 0, "--fleet-lease must be >= 0");
+  DSMCPIC_CHECK_MSG(o.lease == 0 || !o.results_dir.empty(),
+                    "--fleet-lease requires --results-dir");
+  return o;
+}
+
 bool parse_or_usage(Cli& cli, int argc, const char* const* argv) {
   try {
     if (!cli.parse(argc, argv)) return false;
@@ -222,15 +260,7 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
 
   if (rec) {
     solver.runtime().set_tracer(nullptr);
-    const std::string path = trace_case_path(opt.trace_path, case_index);
-    trace::write_chrome_trace(*rec, path);
-    rec->metrics().write_csv(path + ".metrics.csv");
-    std::fprintf(stderr, "trace: %s (+.metrics.csv), %zu spans, %zu messages\n",
-                 path.c_str(), rec->spans().size(), rec->messages().size());
-    trace::CriticalPathAnalyzer cp(*rec);
-    std::ostringstream report;
-    cp.print(cp.analyze(), report);
-    std::fputs(report.str().c_str(), stderr);
+    write_case_trace(*rec, trace_case_path(opt.trace_path, case_index));
   }
 
   CaseResult r;
@@ -245,54 +275,18 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
 
   if (!opt.report_path.empty()) {
     obs::RunReport rep;
-    rep.config.bench = opt.bench_name;
+    fleet::ReportMeta meta;
+    meta.bench = opt.bench_name;
     std::ostringstream cs;
     cs << "ranks=" << par.nranks << " strategy="
        << exchange::strategy_name(par.strategy) << " balance="
        << (par.balance.enabled ? "on" : "off");
-    rep.config.case_name = cs.str();
-    rep.config.ranks = par.nranks;
-    rep.config.steps = opt.steps;
-    rep.config.machine = opt.machine;
-    rep.config.seed = opt.seed;
-    rep.config.exec_mode = par::exec_mode_name(par.exec_mode);
-    rep.config.exec_threads = par.exec_threads;
-    rep.config.kernel_threads = par.kernel_threads;
-    rep.config.sort_every = cfg.sort_every;
-    rep.config.strategy = exchange::strategy_name(par.strategy);
-    rep.config.balance = par.balance.enabled;
-    rep.config.audit_severity = opt.audit;
-    rep.config.cost_model =
-        balance::cost_model_name(par.balance.cost_model.kind);
-    rep.config.policy = balance::policy_name(par.balance.policy.kind);
-    rep.config.horizon = par.balance.policy.horizon;
-    rep.ensemble.kind = balance::ensemble_name(par.balance.ensemble.kind);
-    rep.ensemble.ranks_min = solver.ensemble().config().ranks_min;
-    rep.ensemble.ranks_max = solver.ensemble().config().ranks_max;
-    rep.ensemble.active_initial = solver.ensemble().initial_active();
-    rep.ensemble.active_final = solver.active_ranks();
-    rep.ensemble.resizes = solver.ensemble().resizes();
-    rep.total_virtual_time = r.summary.total_time;
-    for (std::size_t i = 0; i < r.summary.phase_names.size(); ++i) {
-      const par::PhaseStats& st = r.summary.phase_stats[i];
-      rep.phases.push_back({r.summary.phase_names[i], st.busy_max, st.busy_min,
-                            st.busy_sum, st.transactions, st.bytes});
-    }
-    rep.steps.final_particles = r.summary.final_particles;
-    for (const core::StepDiagnostics& d : r.history) {
-      rep.steps.injected += d.injected;
-      rep.steps.migrated_dsmc += d.migrated_dsmc;
-      rep.steps.migrated_pic += d.migrated_pic;
-      rep.steps.collisions += d.collisions;
-      rep.steps.ionizations += d.ionizations;
-      rep.steps.recombinations += d.recombinations;
-      rep.steps.rebalances += d.rebalanced ? 1 : 0;
-    }
-    for (const balance::PolicyDecision& d : r.summary.decisions)
-      rep.rebalance_decisions.push_back({d.step, d.lii, d.imbalance_per_step,
-                                         d.projected_imbalance_cost,
-                                         d.rebalance_cost_estimate,
-                                         d.rebalance});
+    meta.case_name = cs.str();
+    meta.machine = opt.machine;
+    meta.seed = opt.seed;
+    meta.steps = opt.steps;
+    meta.audit = opt.audit;
+    fleet::fill_run_report(rep, solver, r.summary, r.history, meta);
     rep.audit = auditor ? &auditor->report() : nullptr;
     rep.profiler = prof.get();
     const std::string rpath = trace_case_path(opt.report_path, case_index);
@@ -300,6 +294,17 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
     std::fprintf(stderr, "run report: %s\n", rpath.c_str());
   }
   return r;
+}
+
+void write_case_trace(const trace::TraceRecorder& rec, const std::string& path) {
+  trace::write_chrome_trace(rec, path);
+  rec.metrics().write_csv(path + ".metrics.csv");
+  std::fprintf(stderr, "trace: %s (+.metrics.csv), %zu spans, %zu messages\n",
+               path.c_str(), rec.spans().size(), rec.messages().size());
+  trace::CriticalPathAnalyzer cp(rec);
+  std::ostringstream report;
+  cp.print(cp.analyze(), report);
+  std::fputs(report.str().c_str(), stderr);
 }
 
 }  // namespace dsmcpic::bench

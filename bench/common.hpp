@@ -12,6 +12,10 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
+namespace dsmcpic::trace {
+class TraceRecorder;
+}
+
 namespace dsmcpic::bench {
 
 struct BenchOptions {
@@ -96,6 +100,33 @@ class CommonFlags {
   const std::int64_t* ranks_initial_;
 };
 
+/// Options of the fleet-service bench (bench_fleet). Registered here (not
+/// in bench_fleet.cpp) so bench_cli_test can exercise the --fleet-* flag
+/// surface — including the standard usage error on unknown --fleet-* flags
+/// — without linking the bench binary.
+struct FleetBenchOptions {
+  int slots = 4;           // --fleet-slots
+  int runs = 8;            // --fleet-runs
+  std::string scenarios;   // --fleet-scenarios (csv; empty = whole corpus)
+  int lease = 0;           // --fleet-lease (steps per lease; 0 = no preempt)
+  std::string results_dir; // --results-dir
+  std::string out;         // --out (BENCH_fleet.json lanes)
+};
+
+class FleetFlags {
+ public:
+  explicit FleetFlags(Cli& cli);
+  FleetBenchOptions finish() const;
+
+ private:
+  const std::int64_t* slots_;
+  const std::int64_t* runs_;
+  const std::string* scenarios_;
+  const std::int64_t* lease_;
+  const std::string* results_dir_;
+  const std::string* out_;
+};
+
 /// Parses argv for a bench binary. Returns false when --help was printed.
 /// On any CLI error — unknown flag, malformed value, or stray positional
 /// argument — prints the error plus usage to stderr and exits with status
@@ -124,5 +155,10 @@ struct CaseResult {
 /// Runs one solver case for opt.steps DSMC steps.
 CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
                     const BenchOptions& opt);
+
+/// Finishes one recorded case: writes the Chrome trace + metrics CSV to
+/// `path` and prints the critical-path report to stderr. The trace half of
+/// the per-case wiring every bench shares.
+void write_case_trace(const trace::TraceRecorder& rec, const std::string& path);
 
 }  // namespace dsmcpic::bench

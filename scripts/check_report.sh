@@ -4,7 +4,10 @@
 # run_report.json parses, matches the dsmcpic.run_report.v1 schema
 # (config echo, virtual-time phases, step totals, audit tallies, host
 # profile) and that a healthy run reports zero audit violations. Catches
-# writer regressions the unit tests on JsonWriter would miss.
+# writer regressions the unit tests on JsonWriter would miss. Also
+# validates a fleet results directory (DESIGN.md §2j): every per-run
+# subdirectory must hold a parsing run_report.json + digest.txt, and
+# fleet_summary.json must index exactly those runs.
 #
 #   scripts/check_report.sh [build-dir]
 set -euo pipefail
@@ -14,7 +17,7 @@ BUILD="${1:-build}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-cmake --build "$BUILD" --target bench_fig05_imbalance bench_kernels -j
+cmake --build "$BUILD" --target bench_fig05_imbalance bench_kernels bench_fleet -j
 
 "$BUILD"/bench/bench_fig05_imbalance \
   --ranks 4 --steps 3 --audit warn --report "$OUT/report.json" >/dev/null
@@ -69,6 +72,51 @@ kernels = r["host_profile"]["kernels"]
 for want in ("move/serial", "move/kt4", "collide/kt2", "deposit/serial_recompute"):
     assert want in kernels, f"{want} missing from {sorted(kernels)}"
 print(f"{sys.argv[1]}: ok ({len(kernels)} kernel lanes)")
+EOF
+
+# The fleet service streams per-run reports into a results directory:
+# <dir>/<run_id>/run_report.json + digest.txt, indexed by
+# <dir>/fleet_summary.json. Run a small 2-scenario fleet with lease-based
+# preemption and validate the whole directory shape.
+"$BUILD"/bench/bench_fleet \
+  --fleet-runs 4 --fleet-slots 2 --fleet-lease 3 --steps 6 \
+  --fleet-scenarios nozzle,pulsed-inlet \
+  --results-dir "$OUT/fleet" >/dev/null
+python3 - "$OUT/fleet" <<'EOF'
+import json, os, sys
+root = sys.argv[1]
+summary = json.load(open(os.path.join(root, "fleet_summary.json")))
+assert summary["schema"] == "dsmcpic.fleet_summary.v1", summary["schema"]
+runs = summary["runs"]
+assert len(runs) == 4, f"expected 4 runs, got {len(runs)}"
+assert summary["totals"]["done"] == 4
+assert summary["totals"]["parked"] == 0
+assert summary["slot_stats"]["runs_per_sec"] > 0
+cache = summary["shared_cache"]
+assert cache["geometry_hits"] + cache["geometry_misses"] > 0
+subdirs = sorted(d for d in os.listdir(root)
+                 if os.path.isdir(os.path.join(root, d)))
+assert subdirs == sorted(r["run_id"] for r in runs), \
+    f"summary runs {sorted(r['run_id'] for r in runs)} != subdirs {subdirs}"
+for r in runs:
+    run_dir = os.path.join(root, r["run_id"])
+    assert r["state"] == "done", r
+    # 6 steps in 3-step leases.
+    assert r["leases"] == 2, r
+    rep = json.load(open(os.path.join(run_dir, "run_report.json")))
+    assert rep["schema"] == "dsmcpic.run_report.v1"
+    assert rep["bench"] == "fleet"
+    assert r["run_id"] in rep["case"]
+    assert rep["steps"]["final_particles"] == r["final_particles"]
+    assert rep["virtual_time"]["total_seconds"] > 0
+    digest_line = open(os.path.join(run_dir, "digest.txt")).read().split()
+    assert digest_line[0] == r["digest"], (digest_line, r["digest"])
+    assert digest_line[1] == r["scenario"]
+    # Completed runs must not leave resumable sidecars behind.
+    for stale in ("checkpoint.bin", "lease.bin"):
+        assert not os.path.exists(os.path.join(run_dir, stale)), stale
+print(f"{root}: ok ({len(runs)} fleet runs, "
+      f"{cache['geometry_hits']} geometry cache hits)")
 EOF
 
 echo "run report check clean."

@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test ensemble_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test ensemble_test fleet_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -62,5 +62,12 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # backend through a resize, so a racy pool or active-set handoff would be
 # flagged here.
 "$BUILD"/tests/ensemble_test
+# The fleet service (DESIGN.md §2j) runs whole solvers concurrently on the
+# slot pool while they read the same immutable CaseGeometry through
+# SharedAssets, and preempt/resume moves solver state across slots through
+# checkpoint v4. The fleet suite runs 4-slot fleets, lease slicing, and the
+# park/resume round trip, so a racy registry, result aggregation, or shared
+# mesh access would be flagged here.
+"$BUILD"/tests/fleet_test
 
 echo "TSan sweep clean."

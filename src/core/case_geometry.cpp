@@ -1,0 +1,14 @@
+#include "core/case_geometry.hpp"
+
+namespace dsmcpic::core {
+
+std::shared_ptr<const CaseGeometry> CaseGeometry::build(
+    const mesh::NozzleSpec& spec) {
+  auto g = std::make_shared<CaseGeometry>();
+  g->spec = spec;
+  g->coarse = mesh::make_cylinder_nozzle(spec);
+  g->refined = mesh::red_refine(g->coarse, mesh::nozzle_classifier(spec));
+  return g;
+}
+
+}  // namespace dsmcpic::core

@@ -1,0 +1,30 @@
+#pragma once
+// Immutable per-case geometry, shareable across solver instances.
+//
+// Building a case's meshes is pure: the coarse nozzle grid, its nested red
+// refinement, and the precomputed FacePlane/BaryCache tables inside both
+// TetMeshes depend only on the NozzleSpec. The fleet service (src/fleet)
+// runs many solvers of the same scenario concurrently in one process, so
+// these tables are built once and handed to every instance as a
+// shared_ptr<const CaseGeometry>; all solver-side accesses are const, so
+// concurrent runs share them without synchronization.
+
+#include <memory>
+
+#include "mesh/nozzle.hpp"
+#include "mesh/refine.hpp"
+#include "mesh/tetmesh.hpp"
+
+namespace dsmcpic::core {
+
+struct CaseGeometry {
+  mesh::NozzleSpec spec;
+  mesh::TetMesh coarse;
+  mesh::RefinedMesh refined;
+
+  /// Builds the coarse grid + nested refinement for `spec` (what the
+  /// CoupledSolver constructor does when no shared geometry is supplied).
+  static std::shared_ptr<const CaseGeometry> build(const mesh::NozzleSpec& spec);
+};
+
+}  // namespace dsmcpic::core

@@ -51,6 +51,14 @@ struct SolverConfig {
   /// scaling Inject phase. When false, only inlet-cell owners inject.
   bool inject_round_robin = true;
 
+  /// Time-varying injection (fleet scenario corpus): scales the inflow of
+  /// BOTH species per DSMC step by 1 + amplitude * sin(2*pi*step / period),
+  /// clamped at >= 0. Amplitude 0 or period 0 keeps the constant-inflow
+  /// path bit-identical to before the knob existed. The modulation is a
+  /// pure function of the step index, so it needs no checkpoint state.
+  double inject_pulse_amplitude = 0.0;
+  int inject_pulse_period = 0;
+
   dsmc::MoverConfig mover;          // wall model / temperature
   dsmc::CollisionConfig collisions;
   dsmc::ChemistryConfig chemistry;

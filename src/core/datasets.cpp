@@ -20,8 +20,8 @@ void SolverConfig::set_target_particles(std::int64_t target_h,
   const double transit_steps = nozzle.length / (drift_speed * dt_dsmc);
   const double residence_h = std::clamp(4.5 * transit_steps, 1.0, 40.0);
   const double residence_hplus = std::clamp(1.0 * transit_steps, 1.0, 25.0);
-  const double inlet_area =
-      M_PI * nozzle.inlet_radius() * nozzle.inlet_radius();
+  const double inlet_area = nozzle.inlet_count * M_PI *
+                            nozzle.inlet_radius() * nozzle.inlet_radius();
 
   auto fnum_for = [&](double density, double mass, std::int64_t target,
                       double residence) {

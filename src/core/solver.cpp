@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <utility>
 
 #include "obs/health_auditor.hpp"
 #include "obs/host_profiler.hpp"
@@ -27,12 +28,20 @@ double RunSummary::busy_sum_total() const {
 }
 
 CoupledSolver::CoupledSolver(SolverConfig cfg, ParallelConfig par)
+    : CoupledSolver(std::move(cfg), par, nullptr) {}
+
+CoupledSolver::CoupledSolver(SolverConfig cfg, ParallelConfig par,
+                             std::shared_ptr<const CaseGeometry> geom)
     : cfg_(cfg),
       pcfg_(par),
       species_(dsmc::SpeciesTable::hydrogen(cfg.fnum_h, cfg.fnum_hplus)),
-      coarse_(mesh::make_cylinder_nozzle(cfg.nozzle)),
-      refined_(mesh::red_refine(coarse_, mesh::nozzle_classifier(cfg.nozzle))),
+      geom_(geom ? std::move(geom) : CaseGeometry::build(cfg_.nozzle)),
+      coarse_(geom_->coarse),
+      refined_(geom_->refined),
       sampler_(coarse_, species_) {
+  DSMCPIC_CHECK_MSG(geom_->spec == cfg_.nozzle,
+                    "shared CaseGeometry was built from a different NozzleSpec "
+                    "than cfg.nozzle");
   init();
 }
 
@@ -82,12 +91,16 @@ void CoupledSolver::init() {
   inject_h_ = std::make_unique<dsmc::MaxwellianInjector>(
       coarse_, mesh::BoundaryKind::kInlet,
       dsmc::InjectionSpec{dsmc::kSpeciesH, cfg_.density_h,
-                          cfg_.inlet_temperature, cfg_.drift_speed},
+                          cfg_.inlet_temperature, cfg_.drift_speed,
+                          cfg_.inject_pulse_amplitude,
+                          cfg_.inject_pulse_period},
       cfg_.seed);
   inject_hplus_ = std::make_unique<dsmc::MaxwellianInjector>(
       coarse_, mesh::BoundaryKind::kInlet,
       dsmc::InjectionSpec{dsmc::kSpeciesHPlus, cfg_.density_hplus,
-                          cfg_.inlet_temperature, cfg_.drift_speed},
+                          cfg_.inlet_temperature, cfg_.drift_speed,
+                          cfg_.inject_pulse_amplitude,
+                          cfg_.inject_pulse_period},
       cfg_.seed ^ 0x517cc1b727220a95ULL);
 
   dsmc::MoverConfig mcfg = cfg_.mover;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "balance/rebalancer.hpp"
+#include "core/case_geometry.hpp"
 #include "core/config.hpp"
 #include "dsmc/collide.hpp"
 #include "dsmc/injector.hpp"
@@ -84,6 +85,14 @@ struct RunSummary {
 class CoupledSolver {
  public:
   CoupledSolver(SolverConfig cfg, ParallelConfig par);
+  /// Shares pre-built immutable geometry (coarse grid + nested refinement,
+  /// including the FacePlane/BaryCache tables) across solver instances —
+  /// the fleet service builds each scenario's meshes once and hands the
+  /// same CaseGeometry to every concurrent run. `geom` must have been built
+  /// from the SAME NozzleSpec as cfg.nozzle (checked); nullptr builds
+  /// privately, identical to the two-argument constructor.
+  CoupledSolver(SolverConfig cfg, ParallelConfig par,
+                std::shared_ptr<const CaseGeometry> geom);
   ~CoupledSolver();
 
   /// Runs `n` DSMC steps (each containing cfg.pic_substeps PIC steps).
@@ -186,8 +195,13 @@ class CoupledSolver {
   ParallelConfig pcfg_;
 
   dsmc::SpeciesTable species_;
-  mesh::TetMesh coarse_;
-  mesh::RefinedMesh refined_;
+  /// Owns the meshes (possibly shared with other solver instances); the
+  /// references below alias into it so every existing call site reads
+  /// `coarse_` / `refined_` unchanged. Declared before them: member init
+  /// order is declaration order.
+  std::shared_ptr<const CaseGeometry> geom_;
+  const mesh::TetMesh& coarse_;
+  const mesh::RefinedMesh& refined_;
   std::unique_ptr<pic::FineGrid> fine_;
   partition::Graph dual_;
 

@@ -8,6 +8,13 @@
 
 namespace dsmcpic::dsmc {
 
+double InjectionSpec::inflow_modulation(int step) const {
+  if (pulse_amplitude == 0.0 || pulse_period <= 0) return 1.0;
+  const double s =
+      1.0 + pulse_amplitude * std::sin(2.0 * M_PI * step / pulse_period);
+  return s > 0.0 ? s : 0.0;
+}
+
 MaxwellianInjector::MaxwellianInjector(const mesh::TetMesh& grid,
                                        mesh::BoundaryKind kind,
                                        InjectionSpec spec, std::uint64_t seed)
@@ -47,10 +54,12 @@ std::int64_t MaxwellianInjector::inject(ParticleStore& store,
 void MaxwellianInjector::begin_step(const SpeciesTable& table, double dt,
                                     int step) {
   const Species& sp = table[spec_.species];
-  const double flux_per_area =
+  double flux_per_area =
       spec_.number_density *
       maxwellian_flux_factor(spec_.drift_speed, spec_.temperature, sp.mass) /
       sp.fnum;
+  const double mod = spec_.inflow_modulation(step);
+  if (mod != 1.0) flux_per_area *= mod;
   step_count_.resize(faces_.size());
   step_seq_base_.resize(faces_.size());
   for (std::size_t f = 0; f < faces_.size(); ++f) {
@@ -128,10 +137,12 @@ std::int64_t MaxwellianInjector::inject_filtered(ParticleStore& store,
                                                  double dt, int step,
                                                  const FaceFilter& mine) {
   const Species& sp = table[spec_.species];
-  const double flux_per_area =
+  double flux_per_area =
       spec_.number_density *
       maxwellian_flux_factor(spec_.drift_speed, spec_.temperature, sp.mass) /
       sp.fnum;
+  const double mod = spec_.inflow_modulation(step);
+  if (mod != 1.0) flux_per_area *= mod;
 
   std::int64_t injected = 0;
   for (std::size_t f = 0; f < faces_.size(); ++f) {

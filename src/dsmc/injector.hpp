@@ -20,6 +20,17 @@ struct InjectionSpec {
   double number_density = 1e18;  // real particles per m^3 at the inlet
   double temperature = 300.0;    // K
   double drift_speed = 1e4;      // m/s along the inward inlet normal
+
+  /// Time-varying inflow: the injected flux is scaled per DSMC step by
+  /// 1 + pulse_amplitude * sin(2*pi*step / pulse_period), clamped at >= 0.
+  /// Amplitude 0 or period 0 disables the pulse, and the disabled path
+  /// skips the scaling multiply entirely so constant-inflow runs stay
+  /// bit-identical to builds that predate the knob.
+  double pulse_amplitude = 0.0;
+  int pulse_period = 0;
+
+  /// The per-step flux scale described above (1.0 when disabled).
+  double inflow_modulation(int step) const;
 };
 
 /// Stateful per-face injector: carries fractional injection remainders and

@@ -1,0 +1,63 @@
+#include "fleet/report.hpp"
+
+#include "balance/rebalancer.hpp"
+#include "exchange/exchange.hpp"
+#include "par/runtime.hpp"
+
+namespace dsmcpic::fleet {
+
+void fill_run_report(obs::RunReport& rep, const core::CoupledSolver& solver,
+                     const core::RunSummary& summary,
+                     std::span<const core::StepDiagnostics> history,
+                     const ReportMeta& meta) {
+  const core::ParallelConfig& par = solver.parallel_config();
+  rep.config.bench = meta.bench;
+  rep.config.case_name = meta.case_name;
+  rep.config.ranks = par.nranks;
+  rep.config.steps = meta.steps;
+  rep.config.machine = meta.machine;
+  rep.config.seed = meta.seed;
+  rep.config.exec_mode = par::exec_mode_name(par.exec_mode);
+  rep.config.exec_threads = par.exec_threads;
+  rep.config.kernel_threads = par.kernel_threads;
+  rep.config.sort_every = solver.config().sort_every;
+  rep.config.strategy = exchange::strategy_name(par.strategy);
+  rep.config.balance = par.balance.enabled;
+  rep.config.audit_severity = meta.audit;
+  rep.config.cost_model = balance::cost_model_name(par.balance.cost_model.kind);
+  rep.config.policy = balance::policy_name(par.balance.policy.kind);
+  rep.config.horizon = par.balance.policy.horizon;
+  rep.ensemble.kind = balance::ensemble_name(par.balance.ensemble.kind);
+  rep.ensemble.ranks_min = solver.ensemble().config().ranks_min;
+  rep.ensemble.ranks_max = solver.ensemble().config().ranks_max;
+  rep.ensemble.active_initial = solver.ensemble().initial_active();
+  rep.ensemble.active_final = solver.active_ranks();
+  rep.ensemble.resizes = solver.ensemble().resizes();
+  rep.total_virtual_time = summary.total_time;
+  for (std::size_t i = 0; i < summary.phase_names.size(); ++i) {
+    const par::PhaseStats& st = summary.phase_stats[i];
+    rep.phases.push_back({summary.phase_names[i], st.busy_max, st.busy_min,
+                          st.busy_sum, st.transactions, st.bytes});
+  }
+  rep.steps.final_particles = summary.final_particles;
+  add_step_totals(rep.steps, history);
+  for (const balance::PolicyDecision& d : summary.decisions)
+    rep.rebalance_decisions.push_back({d.step, d.lii, d.imbalance_per_step,
+                                       d.projected_imbalance_cost,
+                                       d.rebalance_cost_estimate, d.rebalance});
+}
+
+void add_step_totals(obs::RunReportSteps& steps,
+                     std::span<const core::StepDiagnostics> history) {
+  for (const core::StepDiagnostics& d : history) {
+    steps.injected += d.injected;
+    steps.migrated_dsmc += d.migrated_dsmc;
+    steps.migrated_pic += d.migrated_pic;
+    steps.collisions += d.collisions;
+    steps.ionizations += d.ionizations;
+    steps.recombinations += d.recombinations;
+    steps.rebalances += d.rebalanced ? 1 : 0;
+  }
+}
+
+}  // namespace dsmcpic::fleet

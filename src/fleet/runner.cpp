@@ -1,0 +1,347 @@
+#include "fleet/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "fleet/report.hpp"
+#include "support/error.hpp"
+#include "support/serialize.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/json_writer.hpp"
+
+namespace dsmcpic::fleet {
+
+namespace {
+
+constexpr const char* kLeaseSchema = "dsmcpic.fleet.lease.v1";
+constexpr const char* kSummarySchema = "dsmcpic.fleet_summary.v1";
+
+std::string hex_digest(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const char* state_name(RunState s) {
+  switch (s) {
+    case RunState::kPending: return "pending";
+    case RunState::kParked: return "parked";
+    case RunState::kDone: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct FleetRunner::JobState {
+  FleetJob job;
+  const Scenario* scenario = nullptr;
+  std::string run_id;
+  std::string dir;  // per-run output dir ("" = memory-only run)
+  int steps_total = 0;
+  int ranks = 0;
+  RunState state = RunState::kPending;
+  bool has_checkpoint = false;
+
+  int steps_done = 0;
+  int leases = 0;
+  RunDigest digest;                // streaming golden digest
+  obs::RunReportSteps carried;     // step totals of completed leases
+  double wall_ms = 0.0;
+
+  // Valid once state == kDone.
+  std::uint64_t final_digest = 0;
+  std::int64_t final_particles = 0;
+  double virtual_seconds = 0.0;
+};
+
+FleetRunner::FleetRunner(FleetOptions opt, std::shared_ptr<SharedAssets> assets)
+    : opts_(std::move(opt)),
+      assets_(assets ? std::move(assets) : std::make_shared<SharedAssets>()) {
+  DSMCPIC_CHECK_MSG(opts_.slots >= 1, "fleet needs at least one slot");
+  DSMCPIC_CHECK_MSG(opts_.lease_steps >= 0, "lease steps must be >= 0");
+  DSMCPIC_CHECK_MSG(opts_.lease_steps == 0 || !opts_.results_dir.empty(),
+                    "preemption (lease steps) requires a results dir for "
+                    "checkpoints");
+  if (!opts_.results_dir.empty())
+    std::filesystem::create_directories(opts_.results_dir);
+}
+
+FleetRunner::~FleetRunner() = default;
+
+std::string FleetRunner::add(const FleetJob& job) {
+  const Scenario& sc = corpus_.by_name(job.scenario);
+  DSMCPIC_CHECK_MSG(job.park_at == 0 || !opts_.results_dir.empty(),
+                    "park_at requires a results dir for checkpoints");
+  auto js = std::make_unique<JobState>();
+  js->job = job;
+  js->scenario = &sc;
+  js->steps_total = job.steps > 0 ? job.steps : sc.default_steps;
+  js->ranks = job.ranks > 0 ? job.ranks : sc.default_ranks;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "run%03d-%s",
+                static_cast<int>(jobs_.size()), sc.name.c_str());
+  js->run_id = buf;
+  if (!opts_.results_dir.empty()) {
+    js->dir = opts_.results_dir + "/" + js->run_id;
+    std::filesystem::create_directories(js->dir);
+  }
+  jobs_.push_back(std::move(js));
+  return jobs_.back()->run_id;
+}
+
+std::string FleetRunner::add_resume(const std::string& run_dir) {
+  std::string dir = run_dir;
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  std::ifstream is(dir + "/lease.bin", std::ios::binary);
+  DSMCPIC_CHECK_MSG(is.good(), "cannot open " << dir << "/lease.bin");
+  const std::string schema = io::read_string(is);
+  DSMCPIC_CHECK_MSG(schema == kLeaseSchema,
+                    "unexpected lease schema '" << schema << "'");
+  auto js = std::make_unique<JobState>();
+  js->run_id = io::read_string(is);
+  js->job.scenario = io::read_string(is);
+  js->job.seed = io::read_pod<std::uint64_t>(is);
+  js->ranks = static_cast<int>(io::read_pod<std::int64_t>(is));
+  js->steps_total = static_cast<int>(io::read_pod<std::int64_t>(is));
+  js->steps_done = static_cast<int>(io::read_pod<std::int64_t>(is));
+  js->leases = static_cast<int>(io::read_pod<std::int64_t>(is));
+  js->digest.set_state(io::read_pod<std::uint64_t>(is));
+  js->carried.injected = io::read_pod<std::int64_t>(is);
+  js->carried.migrated_dsmc = io::read_pod<std::int64_t>(is);
+  js->carried.migrated_pic = io::read_pod<std::int64_t>(is);
+  js->carried.collisions = io::read_pod<std::int64_t>(is);
+  js->carried.ionizations = io::read_pod<std::int64_t>(is);
+  js->carried.recombinations = io::read_pod<std::int64_t>(is);
+  js->carried.rebalances = io::read_pod<std::int64_t>(is);
+  DSMCPIC_CHECK_MSG(is.good(), "truncated " << dir << "/lease.bin");
+  js->scenario = &corpus_.by_name(js->job.scenario);
+  js->dir = dir;
+  js->has_checkpoint = true;
+  // The park already happened; the resumed run goes to completion.
+  js->job.park_at = 0;
+  jobs_.push_back(std::move(js));
+  return jobs_.back()->run_id;
+}
+
+void FleetRunner::write_sidecar(const JobState& js) const {
+  std::ofstream os(js.dir + "/lease.bin",
+                   std::ios::binary | std::ios::trunc);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot write " << js.dir << "/lease.bin");
+  io::write_string(os, kLeaseSchema);
+  io::write_string(os, js.run_id);
+  io::write_string(os, js.job.scenario);
+  io::write_pod(os, js.job.seed);
+  io::write_pod(os, static_cast<std::int64_t>(js.ranks));
+  io::write_pod(os, static_cast<std::int64_t>(js.steps_total));
+  io::write_pod(os, static_cast<std::int64_t>(js.steps_done));
+  io::write_pod(os, static_cast<std::int64_t>(js.leases));
+  io::write_pod(os, js.digest.value());
+  io::write_pod(os, js.carried.injected);
+  io::write_pod(os, js.carried.migrated_dsmc);
+  io::write_pod(os, js.carried.migrated_pic);
+  io::write_pod(os, js.carried.collisions);
+  io::write_pod(os, js.carried.ionizations);
+  io::write_pod(os, js.carried.recombinations);
+  io::write_pod(os, js.carried.rebalances);
+  DSMCPIC_CHECK_MSG(os.good(), "write failed: " << js.dir << "/lease.bin");
+}
+
+void FleetRunner::run_lease(JobState& js) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  core::SolverConfig cfg = js.scenario->config;
+  cfg.seed = js.job.seed;
+  cfg.sort_every = opts_.sort_every;
+  core::ParallelConfig par = canonical_parallel(js.ranks);
+  par.profile = assets_->machine(opts_.machine);
+  par.kernel_threads = opts_.kernel_threads;
+  core::CoupledSolver solver(cfg, par,
+                             assets_->geometry(js.scenario->config.nozzle));
+  if (js.has_checkpoint) solver.restore_checkpoint(js.dir + "/checkpoint.bin");
+
+  int limit = js.steps_total;
+  if (js.job.park_at > js.steps_done && js.job.park_at < limit)
+    limit = js.job.park_at;
+  if (opts_.lease_steps > 0)
+    limit = std::min(limit, js.steps_done + opts_.lease_steps);
+
+  while (js.steps_done < limit) {
+    solver.step();
+    ++js.steps_done;
+  }
+  // history() covers exactly this lease (restore clears it), so the
+  // streaming digest continues where the parked half stopped.
+  for (const core::StepDiagnostics& d : solver.history()) js.digest.absorb(d);
+  ++js.leases;
+
+  if (js.steps_done >= js.steps_total) {
+    finish_run(js, solver);
+    js.state = RunState::kDone;
+  } else {
+    DSMCPIC_CHECK_MSG(!js.dir.empty(),
+                      "preempting a run requires a results dir");
+    add_step_totals(js.carried, solver.history());
+    solver.save_checkpoint(js.dir + "/checkpoint.bin");
+    write_sidecar(js);
+    js.has_checkpoint = true;
+    js.state = (js.job.park_at > 0 && js.steps_done == js.job.park_at)
+                   ? RunState::kParked
+                   : RunState::kPending;
+  }
+  js.wall_ms += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+}
+
+void FleetRunner::finish_run(JobState& js, core::CoupledSolver& solver) {
+  js.digest.absorb_final(solver.runtime());
+  js.final_digest = js.digest.value();
+  const core::RunSummary summary = solver.summary();
+  js.virtual_seconds = summary.total_time;
+  js.final_particles = summary.final_particles;
+  if (js.dir.empty()) return;
+
+  obs::RunReport rep;
+  rep.steps = js.carried;  // totals of the leases before this one
+  ReportMeta meta;
+  meta.bench = "fleet";
+  meta.case_name = js.run_id + " scenario=" + js.scenario->name;
+  meta.machine = opts_.machine;
+  meta.seed = js.job.seed;
+  meta.steps = js.steps_total;
+  fill_run_report(rep, solver, summary, solver.history(), meta);
+  obs::write_run_report_file(js.dir + "/run_report.json", rep);
+
+  std::ofstream os(js.dir + "/digest.txt", std::ios::binary | std::ios::trunc);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot write " << js.dir << "/digest.txt");
+  os << hex_digest(js.final_digest) << " " << js.scenario->name
+     << " steps=" << js.steps_total << "\n";
+
+  // A completed run must not look resumable: drop the park-time sidecars.
+  std::error_code ec;
+  std::filesystem::remove(js.dir + "/checkpoint.bin", ec);
+  std::filesystem::remove(js.dir + "/lease.bin", ec);
+}
+
+std::vector<FleetRunResult> FleetRunner::run_all() {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < jobs_.size(); ++i)
+    if (jobs_[i]->state == RunState::kPending) queue.push_back(i);
+
+  support::ThreadPool pool(opts_.slots);
+  while (!queue.empty()) {
+    std::vector<std::size_t> requeue;
+    std::mutex mu;
+    pool.parallel_for(static_cast<int>(queue.size()), [&](int i) {
+      JobState& js = *jobs_[queue[static_cast<std::size_t>(i)]];
+      run_lease(js);
+      if (js.state == RunState::kPending) {
+        std::lock_guard<std::mutex> lock(mu);
+        requeue.push_back(queue[static_cast<std::size_t>(i)]);
+      }
+    });
+    // Deterministic round order no matter which slot finished first.
+    std::sort(requeue.begin(), requeue.end());
+    queue = std::move(requeue);
+  }
+
+  stats_ = FleetStats{};
+  stats_.slots = opts_.slots;
+  stats_.runs_total = static_cast<std::int64_t>(jobs_.size());
+  stats_.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+  std::vector<FleetRunResult> results;
+  results.reserve(jobs_.size());
+  for (const auto& js : jobs_) {
+    FleetRunResult r;
+    r.run_id = js->run_id;
+    r.scenario = js->scenario->name;
+    r.state = js->state;
+    r.steps_done = js->steps_done;
+    r.steps_total = js->steps_total;
+    r.leases = js->leases;
+    r.digest = js->final_digest;
+    r.final_particles = js->final_particles;
+    r.virtual_seconds = js->virtual_seconds;
+    r.wall_ms = js->wall_ms;
+    results.push_back(r);
+    stats_.busy_ms += js->wall_ms;
+    stats_.runs_done += js->state == RunState::kDone ? 1 : 0;
+    stats_.runs_parked += js->state == RunState::kParked ? 1 : 0;
+  }
+  if (stats_.wall_ms > 0.0) {
+    stats_.slot_utilization =
+        stats_.busy_ms / (static_cast<double>(opts_.slots) * stats_.wall_ms);
+    stats_.runs_per_sec =
+        static_cast<double>(stats_.runs_done) / (stats_.wall_ms / 1000.0);
+  }
+  stats_.cache = assets_->stats();
+
+  if (!opts_.results_dir.empty()) write_fleet_summary(results);
+  return results;
+}
+
+void FleetRunner::write_fleet_summary(
+    const std::vector<FleetRunResult>& results) const {
+  const std::string path = opts_.results_dir + "/fleet_summary.json";
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DSMCPIC_CHECK_MSG(os.good(), "cannot write " << path);
+  trace::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", kSummarySchema);
+  w.kv("slots", opts_.slots);
+  w.kv("lease_steps", opts_.lease_steps);
+  w.kv("machine", opts_.machine);
+  w.key("runs");
+  w.begin_array();
+  for (const FleetRunResult& r : results) {
+    w.begin_object();
+    w.kv("run_id", r.run_id);
+    w.kv("scenario", r.scenario);
+    w.kv("state", state_name(r.state));
+    w.kv("steps_done", r.steps_done);
+    w.kv("steps_total", r.steps_total);
+    w.kv("leases", r.leases);
+    w.kv("digest", r.state == RunState::kDone ? hex_digest(r.digest) : "");
+    w.kv("final_particles", r.final_particles);
+    w.kv("virtual_seconds", r.virtual_seconds);
+    w.kv("wall_ms", r.wall_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals");
+  w.begin_object();
+  w.kv("runs", stats_.runs_total);
+  w.kv("done", stats_.runs_done);
+  w.kv("parked", stats_.runs_parked);
+  w.end_object();
+  w.key("slot_stats");
+  w.begin_object();
+  w.kv("wall_ms", stats_.wall_ms);
+  w.kv("busy_ms", stats_.busy_ms);
+  w.kv("slot_utilization", stats_.slot_utilization);
+  w.kv("runs_per_sec", stats_.runs_per_sec);
+  w.end_object();
+  w.key("shared_cache");
+  w.begin_object();
+  w.kv("geometry_hits", stats_.cache.geometry_hits);
+  w.kv("geometry_misses", stats_.cache.geometry_misses);
+  w.kv("machine_hits", stats_.cache.machine_hits);
+  w.kv("machine_misses", stats_.cache.machine_misses);
+  w.end_object();
+  w.end_object();
+  w.finish();
+  os << "\n";
+}
+
+}  // namespace dsmcpic::fleet

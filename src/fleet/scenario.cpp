@@ -1,0 +1,161 @@
+#include "fleet/scenario.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "core/datasets.hpp"
+#include "support/error.hpp"
+
+namespace dsmcpic::fleet {
+
+namespace {
+
+/// The golden-test tiny nozzle: Dataset 1 at quarter particle scale on a
+/// 324-tet coarse grid. Small enough that a whole fleet of runs stays
+/// test-suite fast, big enough that balancing decisions actually trigger.
+core::SolverConfig tiny_nozzle() {
+  core::Dataset d = core::make_dataset(1, /*particle_scale=*/0.25);
+  d.config.nozzle.radial_divisions = 3;
+  d.config.nozzle.axial_divisions = 6;
+  return d.config;
+}
+
+}  // namespace
+
+ScenarioCorpus::ScenarioCorpus() {
+  {
+    Scenario sc;
+    sc.name = "nozzle";
+    sc.description =
+        "the paper's cylindrical nozzle plume (golden-test tiny config)";
+    sc.config = tiny_nozzle();
+    scenarios_.push_back(sc);
+  }
+  {
+    // Hypersonic-reentry-style inflow (Binder et al.): the inlet disc spans
+    // almost the whole z = 0 face and the timestep is shrunk ~10x, so the
+    // transit takes hundreds of steps and the population piles up in the
+    // first axial layers — the persistent inlet-side imbalance that makes
+    // naive uniform decompositions fall over.
+    Scenario sc;
+    sc.name = "reentry";
+    sc.description =
+        "hypersonic-reentry-style slow-fill inflow: wide inlet, 10x finer "
+        "dt, extreme inlet-side load imbalance";
+    sc.config = tiny_nozzle();
+    sc.config.nozzle.axial_divisions = 8;
+    sc.config.nozzle.inlet_radius_frac = 0.85;
+    sc.config.drift_speed = 7.5e3;  // reentry-scale speed
+    sc.config.dt_dsmc = 2.5e-8;     // ~270-step transit: slow-fill regime
+    sc.config.set_target_particles(6000, 1200);
+    scenarios_.push_back(sc);
+  }
+  {
+    // Twin-nozzle plume interaction: two off-axis inlet discs whose plumes
+    // expand into each other downstream. The DSMC load forms two moving
+    // lobes instead of one axial column, so partitions tuned for a single
+    // plume mispredict both.
+    Scenario sc;
+    sc.name = "twin-plume";
+    sc.description =
+        "two off-axis inlet discs (NozzleSpec::inlet_count = 2), "
+        "interacting plumes downstream";
+    sc.config = tiny_nozzle();
+    sc.config.nozzle.radial_divisions = 4;
+    sc.config.nozzle.inlet_radius_frac = 0.3;
+    sc.config.nozzle.inlet_count = 2;
+    sc.config.set_target_particles(5000, 1000);
+    scenarios_.push_back(sc);
+  }
+  {
+    // Pulsed injection (Ortwein et al.'s shifting hybrid cost ratios): the
+    // inflow breathes with amplitude 0.9 over a 4-step period, so per-rank
+    // particle load — and with it the DSMC/PIC cost split — never settles.
+    Scenario sc;
+    sc.name = "pulsed-inlet";
+    sc.description =
+        "time-varying injection: inflow scaled by 1 + 0.9 sin(2 pi step/4)";
+    sc.config = tiny_nozzle();
+    sc.config.inject_pulse_amplitude = 0.9;
+    sc.config.inject_pulse_period = 4;
+    scenarios_.push_back(sc);
+  }
+}
+
+const Scenario* ScenarioCorpus::find(const std::string& name) const {
+  for (const Scenario& sc : scenarios_)
+    if (sc.name == name) return &sc;
+  return nullptr;
+}
+
+const Scenario& ScenarioCorpus::by_name(const std::string& name) const {
+  if (const Scenario* sc = find(name)) return *sc;
+  std::ostringstream known;
+  for (const Scenario& sc : scenarios_) known << " " << sc.name;
+  DSMCPIC_CHECK_MSG(false, "unknown scenario '" << name << "' (corpus:"
+                                                << known.str() << ")");
+  return scenarios_.front();
+}
+
+core::ParallelConfig canonical_parallel(int nranks) {
+  core::ParallelConfig par;
+  par.nranks = nranks;
+  par.strategy = exchange::Strategy::kDistributed;
+  par.balance.enabled = true;
+  par.balance.period = 3;
+  return par;
+}
+
+void RunDigest::bytes(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= b[i];
+    h_ *= 1099511628211ULL;
+  }
+}
+
+void RunDigest::i64(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  bytes(&u, sizeof u);
+}
+
+void RunDigest::f64(double v) {
+  const auto u = std::bit_cast<std::uint64_t>(v);
+  bytes(&u, sizeof u);
+}
+
+void RunDigest::absorb(const core::StepDiagnostics& s) {
+  i64(s.dsmc_step);
+  for (const std::int64_t p : s.particles_per_rank) i64(p);
+  i64(s.total_h);
+  i64(s.total_hplus);
+  i64(s.injected);
+  i64(s.migrated_dsmc);
+  i64(s.migrated_pic);
+  i64(s.collisions);
+  i64(s.ionizations);
+  i64(s.recombinations);
+  i64(s.poisson_iterations);
+  f64(s.lii);
+  i64(s.rebalanced ? 1 : 0);
+}
+
+void RunDigest::absorb_final(const par::Runtime& rt) {
+  for (int r = 0; r < rt.size(); ++r) f64(rt.clock(r));
+  f64(rt.total_time());
+}
+
+std::uint64_t run_scenario_digest(
+    const Scenario& sc, int steps, int nranks, std::uint64_t seed,
+    std::shared_ptr<const core::CaseGeometry> geom) {
+  core::SolverConfig cfg = sc.config;
+  cfg.seed = seed;
+  core::CoupledSolver solver(cfg, canonical_parallel(nranks), std::move(geom));
+  solver.run(steps);
+  RunDigest d;
+  for (const core::StepDiagnostics& s : solver.history()) d.absorb(s);
+  d.absorb_final(solver.runtime());
+  return d.value();
+}
+
+}  // namespace dsmcpic::fleet

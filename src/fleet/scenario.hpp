@@ -1,0 +1,89 @@
+#pragma once
+// Scenario corpus for the simulation-fleet service (DESIGN.md §2j).
+//
+// A Scenario is a declarative SolverConfig builder with a name and a golden
+// digest: the corpus turns the golden-regression suite from one nozzle case
+// into a battery of genuinely different load shapes — the high-imbalance
+// inflow and shifting DSMC/PIC cost ratios the load-balancing literature
+// stresses (Binder et al., Ortwein et al.; see PAPERS.md) — and gives the
+// fleet runner its unit of work.
+//
+// The canonical run of a scenario (canonical_parallel + default steps +
+// default seed) is pinned by GoldenCorpus.* in tests/fleet_test.cpp; the
+// digest byte stream is EXACTLY the one tests/golden_test.cpp hashes, so
+// the "nozzle" scenario reproduces the original kGoldenDcBalanced value.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/case_geometry.hpp"
+#include "core/config.hpp"
+#include "core/solver.hpp"
+
+namespace dsmcpic::fleet {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  core::SolverConfig config;
+  int default_ranks = 6;
+  int default_steps = 8;
+};
+
+/// The built-in scenarios. Beyond the paper's nozzle: a hypersonic-reentry
+/// style slow-fill inflow (extreme inlet-side imbalance), a twin-nozzle
+/// plume-interaction case (two inlet discs, NozzleSpec::inlet_count), and a
+/// pulsed-injection profile whose particle load breathes over time
+/// (SolverConfig::inject_pulse_*).
+class ScenarioCorpus {
+ public:
+  ScenarioCorpus();
+
+  const std::vector<Scenario>& all() const { return scenarios_; }
+  const Scenario* find(const std::string& name) const;
+  /// Throws dsmcpic::Error (listing valid names) when `name` is unknown.
+  const Scenario& by_name(const std::string& name) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// The corpus' canonical parallel configuration — identical knobs to the
+/// golden-test harness (6-rank distributed exchange, balancing on with
+/// period 3, everything else default), so the nozzle scenario's canonical
+/// digest IS the original golden value.
+core::ParallelConfig canonical_parallel(int nranks);
+
+/// Streaming form of the golden-test FNV-1a digest: absorb() per step in
+/// order, then absorb_final() once after the last step. The intermediate
+/// state is a single u64, which is what the fleet runner carries across
+/// preempt/resume leases (the resumed half of a run continues hashing from
+/// the parked half's state and lands on the uninterrupted value).
+class RunDigest {
+ public:
+  void absorb(const core::StepDiagnostics& s);
+  void absorb_final(const par::Runtime& rt);
+
+  std::uint64_t value() const { return h_; }
+  void set_state(std::uint64_t h) { h_ = h; }
+
+ private:
+  void bytes(const void* p, std::size_t n);
+  void i64(std::int64_t v);
+  void f64(double v);
+
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+/// Runs a scenario start-to-finish inline (no fleet) under the canonical
+/// parallel config and returns its digest — the serial reference every
+/// fleet execution of the same job must match bit-for-bit. `geom` may share
+/// a pre-built CaseGeometry; nullptr builds privately.
+std::uint64_t run_scenario_digest(
+    const Scenario& sc, int steps, int nranks, std::uint64_t seed,
+    std::shared_ptr<const core::CaseGeometry> geom = nullptr);
+
+}  // namespace dsmcpic::fleet

@@ -1,0 +1,62 @@
+#include "fleet/shared_assets.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace dsmcpic::fleet {
+
+std::string SharedAssets::geometry_key(const mesh::NozzleSpec& spec) {
+  // Every field of the spec, rendered exactly: two specs compare equal iff
+  // their keys do.
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.17g|%.17g|%.17g|%d|%d|%d", spec.radius,
+                spec.length, spec.inlet_radius_frac, spec.radial_divisions,
+                spec.axial_divisions, spec.inlet_count);
+  return buf;
+}
+
+std::shared_ptr<const core::CaseGeometry> SharedAssets::geometry(
+    const mesh::NozzleSpec& spec) {
+  const std::string key = geometry_key(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = geometry_.find(key);
+  if (it != geometry_.end()) {
+    ++stats_.geometry_hits;
+    return it->second;
+  }
+  ++stats_.geometry_misses;
+  auto geom = core::CaseGeometry::build(spec);
+  geometry_.emplace(key, geom);
+  return geom;
+}
+
+par::MachineProfile SharedAssets::machine(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = machines_.find(name);
+  if (it != machines_.end()) {
+    ++stats_.machine_hits;
+    return it->second;
+  }
+  ++stats_.machine_misses;
+  par::MachineProfile profile;
+  if (name == "tianhe2") {
+    profile = par::MachineProfile::tianhe2();
+  } else if (name == "bscc") {
+    profile = par::MachineProfile::bscc();
+  } else if (name == "tianhe3") {
+    profile = par::MachineProfile::tianhe3();
+  } else {
+    DSMCPIC_CHECK_MSG(false, "unknown machine '" << name
+                                                 << "' (tianhe2|bscc|tianhe3)");
+  }
+  machines_.emplace(name, profile);
+  return profile;
+}
+
+SharedAssets::Stats SharedAssets::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dsmcpic::fleet

@@ -1,0 +1,53 @@
+#pragma once
+// Process-wide immutable asset registry for the fleet service.
+//
+// Every run of a scenario needs the same coarse/refined meshes (with their
+// FacePlane/BaryCache tables — by far the most expensive per-case setup)
+// and a machine profile. SharedAssets builds each exactly once, keyed by
+// the full NozzleSpec / profile name, and hands the same shared_ptr to
+// every concurrent slot. All published objects are immutable after
+// construction, so sharing them across slots needs no synchronization
+// beyond the registry's own mutex.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/case_geometry.hpp"
+#include "par/machine.hpp"
+
+namespace dsmcpic::fleet {
+
+class SharedAssets {
+ public:
+  struct Stats {
+    std::int64_t geometry_hits = 0;
+    std::int64_t geometry_misses = 0;
+    std::int64_t machine_hits = 0;
+    std::int64_t machine_misses = 0;
+  };
+
+  /// The shared CaseGeometry for `spec`, built on first use. Safe to call
+  /// from any slot; a miss builds under the registry lock, so concurrent
+  /// first requests for the same spec build it once.
+  std::shared_ptr<const core::CaseGeometry> geometry(
+      const mesh::NozzleSpec& spec);
+
+  /// Machine profile by bench name: tianhe2 | bscc | tianhe3. Throws on an
+  /// unknown name.
+  par::MachineProfile machine(const std::string& name);
+
+  Stats stats() const;
+
+ private:
+  static std::string geometry_key(const mesh::NozzleSpec& spec);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::CaseGeometry>> geometry_;
+  std::map<std::string, par::MachineProfile> machines_;
+  Stats stats_;
+};
+
+}  // namespace dsmcpic::fleet

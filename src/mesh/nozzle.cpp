@@ -1,6 +1,8 @@
 #include "mesh/nozzle.hpp"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -22,11 +24,33 @@ BoundaryClassifier nozzle_classifier(const NozzleSpec& spec) {
   const double ztol = spec.length * 1e-6;
   const double inlet_r = spec.inlet_radius();
   const double length = spec.length;
-  return [ztol, inlet_r, length](const Vec3& centroid,
-                                 const Vec3& /*normal*/) -> BoundaryKind {
+  if (spec.inlet_count <= 1) {
+    return [ztol, inlet_r, length](const Vec3& centroid,
+                                   const Vec3& /*normal*/) -> BoundaryKind {
+      if (centroid.z < ztol) {
+        const double r = std::hypot(centroid.x, centroid.y);
+        return r <= inlet_r ? BoundaryKind::kInlet : BoundaryKind::kWall;
+      }
+      if (centroid.z > length - ztol) return BoundaryKind::kOutlet;
+      return BoundaryKind::kWall;
+    };
+  }
+  // Multi-nozzle bank: `inlet_count` discs centered 0.5 * radius off-axis,
+  // evenly spaced in angle (first on +x). Faces outside every disc are wall.
+  std::vector<std::pair<double, double>> centers;
+  const double cr = 0.5 * spec.radius;
+  for (int i = 0; i < spec.inlet_count; ++i) {
+    const double a = 2.0 * M_PI * i / spec.inlet_count;
+    centers.emplace_back(cr * std::cos(a), cr * std::sin(a));
+  }
+  return [ztol, inlet_r, length, centers](const Vec3& centroid,
+                                          const Vec3& /*normal*/)
+             -> BoundaryKind {
     if (centroid.z < ztol) {
-      const double r = std::hypot(centroid.x, centroid.y);
-      return r <= inlet_r ? BoundaryKind::kInlet : BoundaryKind::kWall;
+      for (const auto& [cx, cy] : centers)
+        if (std::hypot(centroid.x - cx, centroid.y - cy) <= inlet_r)
+          return BoundaryKind::kInlet;
+      return BoundaryKind::kWall;
     }
     if (centroid.z > length - ztol) return BoundaryKind::kOutlet;
     return BoundaryKind::kWall;

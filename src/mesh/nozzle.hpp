@@ -24,12 +24,19 @@ struct NozzleSpec {
   double inlet_radius_frac = 0.4; // inlet disc radius as a fraction of radius
   int radial_divisions = 6;       // lattice resolution across the diameter
   int axial_divisions = 18;       // layers along the axis
+  /// Number of inlet discs on the z = 0 face. 1 keeps the classic on-axis
+  /// inlet above; >= 2 places `inlet_count` discs of radius inlet_radius()
+  /// with centers 0.5 * radius off-axis, evenly spaced in angle starting on
+  /// +x — a multi-nozzle bank whose plumes interact downstream.
+  int inlet_count = 1;
 
   double inlet_radius() const { return radius * inlet_radius_frac; }
   /// Number of coarse tets this spec will produce.
   std::int64_t expected_tets() const {
     return 6LL * radial_divisions * radial_divisions * axial_divisions;
   }
+
+  friend bool operator==(const NozzleSpec&, const NozzleSpec&) = default;
 };
 
 /// Generates the coarse DSMC grid for the nozzle (adjacency built, boundary

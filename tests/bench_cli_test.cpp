@@ -120,6 +120,65 @@ TEST(BenchCli, CostModelDefaultsStaticAndRejectsTypos) {
   }
 }
 
+TEST(BenchCli, FleetFlagsReachFleetBenchOptions) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_fleet", "6", 8);
+  bench::FleetFlags fleet(cli);
+  const char* argv[] = {"prog",
+                        "--fleet-slots",     "3",
+                        "--fleet-runs",      "5",
+                        "--fleet-scenarios", "nozzle,reentry",
+                        "--fleet-lease",     "2",
+                        "--results-dir",     "/tmp/fleet_out",
+                        "--out",             "/tmp/BENCH_fleet.json"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 13, argv));
+  const bench::FleetBenchOptions o = fleet.finish();
+  EXPECT_EQ(o.slots, 3);
+  EXPECT_EQ(o.runs, 5);
+  EXPECT_EQ(o.scenarios, "nozzle,reentry");
+  EXPECT_EQ(o.lease, 2);
+  EXPECT_EQ(o.results_dir, "/tmp/fleet_out");
+  EXPECT_EQ(o.out, "/tmp/BENCH_fleet.json");
+}
+
+TEST(BenchCli, UnknownFleetFlagExitsWithUsage) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_fleet", "6", 8);
+  bench::FleetFlags fleet(cli);
+  const char* argv[] = {"prog", "--fleet-slot", "3"};
+  EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
+              testing::ExitedWithCode(2), "unknown flag --fleet-slot");
+}
+
+TEST(BenchCli, FleetFlagDefaultsAndValidation) {
+  {
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 1, argv));
+    const bench::FleetBenchOptions o = fleet.finish();
+    EXPECT_EQ(o.slots, 4);
+    EXPECT_EQ(o.runs, 8);
+    EXPECT_TRUE(o.scenarios.empty());
+    EXPECT_EQ(o.lease, 0);
+  }
+  {
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog", "--fleet-slots", "0"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(fleet.finish(), Error);
+  }
+  {
+    // Preemption needs a checkpoint on disk: lease without results dir.
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog", "--fleet-lease", "2"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(fleet.finish(), Error);
+  }
+}
+
 TEST(BenchCli, TraceCasePathInsertsBeforeExtension) {
   EXPECT_EQ(bench::trace_case_path("out.json", 0), "out.json");
   EXPECT_EQ(bench::trace_case_path("out.json", 1), "out.case1.json");
