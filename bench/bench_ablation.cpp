@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
           "Poisson preconditioning");
   bench::CommonFlags common(cli, "bench_ablation", "24,96,384", 30);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   strategy_ablation(opt);
   repartitioner_ablation(opt);

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   const auto* out = cli.add_string(
       "out", "", "write the lane timings as JSON to this path");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
   const int nranks = opt.ranks.front();
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   const auto* npoints = cli.add_int("points", 12, "axis sample points");
   const auto* repeats = cli.add_int("repeats", 3, "repeated runs for RSD");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   const core::Dataset ds = core::make_dataset(1, opt.particle_scale);
   // Four evenly spaced time points, like the paper's 3/6/9/12 us.

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
           "analogue (few particles)");
   bench::CommonFlags common(cli, "bench_fig11_comm_crossover", "24,48,96,192,384,768", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  BenchOptions opt = common.finish();
+  BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
   opt.machine = "bscc";  // the paper runs this experiment on BSCC
 
   const core::Dataset ds = core::make_dataset(3, opt.particle_scale);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
           "Tianhe-2 profile, <= 96 ranks)");
   bench::CommonFlags common(cli, "bench_fig14_placement", "24,48,96", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
   const par::Placement placements[] = {par::Placement::kInnerFrame,

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::CommonFlags common(cli, "bench_fig15_portability", "24,96,384", 30);
   const auto* ds_list = cli.add_string("datasets", "2,4,5,6", "dataset ids");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions base_opt = common.finish();
+  const BenchOptions base_opt = bench::finish_or_usage([&] { return common.finish(); });
   const std::vector<int> dataset_ids = bench::parse_rank_list(*ds_list);
 
   for (const char* machine : {"tianhe2", "tianhe3"}) {

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   bench::CommonFlags common(cli, "bench_fleet", "6", 8);
   bench::FleetFlags fleet_flags(cli);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  BenchOptions opt = common.finish();
-  bench::FleetBenchOptions fopt = fleet_flags.finish();
+  BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
+  bench::FleetBenchOptions fopt = bench::finish_or_usage([&] { return fleet_flags.finish(); });
 
   fleet::FleetOptions fo;
   fo.slots = fopt.slots;
@@ -64,6 +64,12 @@ int main(int argc, char** argv) {
   fo.machine = opt.machine;
   fo.kernel_threads = opt.kernel_threads;
   fo.sort_every = opt.sort_every;
+  // Per-run telemetry rides on the per-run dirs; --metrics-dir requests it
+  // (the directory itself is the fleet results dir, so only the cadence
+  // knobs carry over).
+  fo.telemetry = !opt.metrics_dir.empty();
+  fo.metrics_interval = opt.metrics_interval;
+  fo.flight_recorder = opt.flight_recorder;
   fleet::FleetRunner runner(fo);
 
   const std::vector<std::string> names =
@@ -74,6 +80,7 @@ int main(int argc, char** argv) {
     job.steps = opt.steps;
     job.ranks = opt.ranks.front();
     job.seed = opt.seed + static_cast<std::uint64_t>(i);
+    if (i == 0) job.park_at = fopt.park;  // --fleet-park: park the first run
     runner.add(job);
   }
 

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -24,6 +25,7 @@
 #include "dsmc/collide.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "dsmc/mover.hpp"
 #include "dsmc/particles.hpp"
 #include "dsmc/species.hpp"
@@ -281,6 +283,50 @@ int main(int argc, char** argv) {
   coarse.set_geometry_cache_enabled(true);
   refined.mesh.set_geometry_cache_enabled(true);
 
+  // --- telemetry overhead ---------------------------------------------------
+  // Times a real mini-solver step loop with and without a TelemetryHub
+  // attached (sampling every step, publishing metrics.prom + metrics.json
+  // at the default cadence (every 10 steps) into a scratch dir). The telemetry contract in
+  // docs/observability.md §6 budgets < 2% wall-time overhead.
+  double steps_plain = 1e300, steps_telemetry = 1e300;
+  {
+    core::Dataset ds = core::make_dataset(1, /*particle_scale=*/1.0);
+    ds.config.nozzle.radial_divisions = 4;
+    ds.config.nozzle.axial_divisions = 8;
+    core::ParallelConfig par;
+    par.nranks = 4;
+    par.balance.enabled = true;
+    par.balance.period = 3;
+    const std::string tdir =
+        (std::filesystem::temp_directory_path() / "bench_kernels_telemetry")
+            .string();
+    std::filesystem::create_directories(tdir);
+    const int tsteps = 12;
+    for (int r = 0; r < nreps + 1; ++r) {
+      for (int with_hub = 0; with_hub < 2; ++with_hub) {
+        obs::TelemetryConfig tc;
+        tc.metrics_interval = 10;
+        tc.metrics_prom_path = tdir + "/metrics.prom";
+        tc.metrics_json_path = tdir + "/metrics.json";
+        tc.run_label = "bench_kernels";
+        obs::TelemetryHub hub(tc);
+        core::CoupledSolver solver(ds.config, par);
+        if (with_hub) solver.set_telemetry(&hub);
+        const double t0 = now_ms();
+        solver.run(tsteps);
+        const double dt = now_ms() - t0;
+        if (r > 0) {  // r==0 is warmup
+          double& best = with_hub ? steps_telemetry : steps_plain;
+          best = std::min(best, dt);
+        }
+      }
+    }
+    std::printf("  telemetry %-15s %8.2f ms\n", "steps_plain", steps_plain);
+    std::printf("  telemetry %-15s %8.2f ms  (%+.2f%% overhead)\n",
+                "steps_telemetry", steps_telemetry,
+                100.0 * (steps_telemetry - steps_plain) / steps_plain);
+  }
+
   std::FILE* f = std::fopen(out->c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", out->c_str());
@@ -300,7 +346,15 @@ int main(int argc, char** argv) {
                base.size());
   emit(f, "move", move_t, true);
   emit(f, "collide", collide_t, true);
-  emit(f, "deposit", deposit_t, false);
+  emit(f, "deposit", deposit_t, true);
+  std::fprintf(f,
+               "    \"telemetry\": {\n"
+               "      \"steps_plain_ms\": %.3f,\n"
+               "      \"steps_telemetry_ms\": %.3f,\n"
+               "      \"overhead_pct\": %.3f\n"
+               "    }\n",
+               steps_plain, steps_telemetry,
+               100.0 * (steps_telemetry - steps_plain) / steps_plain);
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
 

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   const std::string* out =
       cli.add_string("out", "", "write the lane timings as JSON to this path");
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  BenchOptions opt = common.finish();
+  BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
   if (opt.machine == "tianhe2") opt.machine = "tianhe3";  // paper's target
 
   const exchange::Strategy strategy = exchange::parse_strategy(

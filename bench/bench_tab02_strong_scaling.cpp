@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       "analogue, Tianhe-2 profile)");
   bench::CommonFlags common(cli, "bench_tab02_strong_scaling", "24,48,96,192,384,768,1536", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
   std::printf("%s analogue: %lld coarse cells, targets H=%lld H+=%lld, "

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
           "(Dataset 2 analogue, DC strategy, Tianhe-2 profile)");
   bench::CommonFlags common(cli, "bench_tab03_move_times", "24,48,96,192,384", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
 

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
           "remapping (Dataset 2 analogue)");
   bench::CommonFlags common(cli, "bench_tab05_km_overhead", "24,48,96,192,384", 40);
   if (!bench::parse_or_usage(cli, argc, argv)) return 0;
-  const BenchOptions opt = common.finish();
+  const BenchOptions opt = bench::finish_or_usage([&] { return common.finish(); });
 
   const core::Dataset ds = core::make_dataset(2, opt.particle_scale);
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "obs/health_auditor.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "support/error.hpp"
 #include "trace/chrome_writer.hpp"
 #include "trace/critical_path.hpp"
@@ -83,6 +85,19 @@ CommonFlags::CommonFlags(Cli& cli, std::string bench_name,
       "ranks-initial", 0,
       "active rank count at init (0 = all; honored for --ensemble fixed "
       "too, giving a fixed reduced ensemble on a larger nominal machine)");
+  metrics_dir_ = cli.add_string(
+      "metrics-dir", "",
+      "publish live telemetry into this directory: metrics.prom + "
+      "metrics.json every --metrics-interval steps, postmortem.json on "
+      "abort/fault (case N > 0 gets .caseN inserted; never perturbs "
+      "results)");
+  metrics_interval_ = cli.add_int(
+      "metrics-interval", 10,
+      "republish metrics.prom/metrics.json every K DSMC steps (>= 1)");
+  flight_recorder_ = cli.add_int(
+      "flight-recorder", 32,
+      "flight-recorder depth: last N superstep records kept for "
+      "postmortem.json (>= 1)");
 }
 
 BenchOptions CommonFlags::finish() const {
@@ -115,6 +130,11 @@ BenchOptions CommonFlags::finish() const {
   DSMCPIC_CHECK_MSG(o.ranks_min >= 1, "--ranks-min must be >= 1");
   DSMCPIC_CHECK_MSG(o.ranks_max >= 0, "--ranks-max must be >= 0");
   DSMCPIC_CHECK_MSG(o.ranks_initial >= 0, "--ranks-initial must be >= 0");
+  o.metrics_dir = *metrics_dir_;
+  o.metrics_interval = static_cast<int>(*metrics_interval_);
+  o.flight_recorder = static_cast<int>(*flight_recorder_);
+  DSMCPIC_CHECK_MSG(o.metrics_interval >= 1, "--metrics-interval must be >= 1");
+  DSMCPIC_CHECK_MSG(o.flight_recorder >= 1, "--flight-recorder must be >= 1");
   return o;
 }
 
@@ -131,6 +151,11 @@ FleetFlags::FleetFlags(Cli& cli) {
       "fleet-lease", 0,
       "preemption granularity: max DSMC steps per slot lease before the run "
       "is checkpointed and requeued (0 = run to completion)");
+  park_ = cli.add_int(
+      "fleet-park", 0,
+      "park the first run at this DSMC step (checkpointed, slot freed, "
+      "left resumable) to exercise the in-progress fleet summary shape; "
+      "0 = off, requires --results-dir");
   results_dir_ = cli.add_string(
       "results-dir", "",
       "per-run output root (<dir>/<run_id>/run_report.json + digest.txt, "
@@ -145,6 +170,7 @@ FleetBenchOptions FleetFlags::finish() const {
   o.runs = static_cast<int>(*runs_);
   o.scenarios = *scenarios_;
   o.lease = static_cast<int>(*lease_);
+  o.park = static_cast<int>(*park_);
   o.results_dir = *results_dir_;
   o.out = *out_;
   DSMCPIC_CHECK_MSG(o.slots >= 1, "--fleet-slots must be >= 1");
@@ -152,6 +178,9 @@ FleetBenchOptions FleetFlags::finish() const {
   DSMCPIC_CHECK_MSG(o.lease >= 0, "--fleet-lease must be >= 0");
   DSMCPIC_CHECK_MSG(o.lease == 0 || !o.results_dir.empty(),
                     "--fleet-lease requires --results-dir");
+  DSMCPIC_CHECK_MSG(o.park >= 0, "--fleet-park must be >= 0");
+  DSMCPIC_CHECK_MSG(o.park == 0 || !o.results_dir.empty(),
+                    "--fleet-park requires --results-dir");
   return o;
 }
 
@@ -246,9 +275,29 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
   std::unique_ptr<obs::HostProfiler> prof;
   if (!opt.report_path.empty()) prof = std::make_unique<obs::HostProfiler>();
 
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (!opt.metrics_dir.empty()) {
+    std::filesystem::create_directories(opt.metrics_dir);
+    obs::TelemetryConfig tc;
+    tc.metrics_interval = opt.metrics_interval;
+    tc.flight_recorder = opt.flight_recorder;
+    tc.metrics_prom_path =
+        trace_case_path(opt.metrics_dir + "/metrics.prom", case_index);
+    tc.metrics_json_path =
+        trace_case_path(opt.metrics_dir + "/metrics.json", case_index);
+    tc.postmortem_path =
+        trace_case_path(opt.metrics_dir + "/postmortem.json", case_index);
+    tc.run_label = opt.bench_name + "/case" + std::to_string(case_index);
+    hub = std::make_unique<obs::TelemetryHub>(tc);
+  }
+
   core::CoupledSolver solver(cfg, par);
   solver.set_auditor(auditor.get());
   solver.set_host_profiler(prof.get());
+  if (hub) {
+    hub->set_host_profiler(prof.get());
+    solver.set_telemetry(hub.get());
+  }
 
   std::unique_ptr<trace::TraceRecorder> rec;
   if (!opt.trace_path.empty()) {
@@ -257,6 +306,10 @@ CaseResult run_case(const core::Dataset& ds, const core::ParallelConfig& par,
   }
 
   solver.run(opt.steps);
+
+  // Final snapshot so a run shorter than the interval still leaves
+  // complete metrics files behind.
+  if (hub) hub->publish();
 
   if (rec) {
     solver.runtime().set_tracer(nullptr);

@@ -4,12 +4,15 @@
 // settings, and prints the same rows the paper's table or figure reports.
 // Times are virtual seconds from the runtime's cost model (see DESIGN.md §1).
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/datasets.hpp"
 #include "core/solver.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/table.hpp"
 
 namespace dsmcpic::trace {
@@ -65,6 +68,15 @@ struct BenchOptions {
   int ranks_min = 1;
   int ranks_max = 0;      // 0 = nominal rank count
   int ranks_initial = 0;  // 0 = all ranks active at init (fixed dense path)
+  // Live telemetry (docs/observability.md §6). When metrics_dir is
+  // non-empty every run_case() attaches a TelemetryHub that publishes
+  // metrics.prom/metrics.json into that directory every metrics_interval
+  // steps and dumps postmortem.json on abort or fault trip (per-case files
+  // get the same ".caseN" suffix rule as trace_path). Telemetry never
+  // perturbs results.
+  std::string metrics_dir;
+  int metrics_interval = 10;  // publish cadence in DSMC steps (>= 1)
+  int flight_recorder = 32;   // postmortem depth in supersteps (>= 1)
 
   par::MachineProfile profile() const;
 };
@@ -98,6 +110,9 @@ class CommonFlags {
   const std::int64_t* ranks_min_;
   const std::int64_t* ranks_max_;
   const std::int64_t* ranks_initial_;
+  const std::string* metrics_dir_;
+  const std::int64_t* metrics_interval_;
+  const std::int64_t* flight_recorder_;
 };
 
 /// Options of the fleet-service bench (bench_fleet). Registered here (not
@@ -109,6 +124,7 @@ struct FleetBenchOptions {
   int runs = 8;            // --fleet-runs
   std::string scenarios;   // --fleet-scenarios (csv; empty = whole corpus)
   int lease = 0;           // --fleet-lease (steps per lease; 0 = no preempt)
+  int park = 0;            // --fleet-park (park run 0 at step N; 0 = off)
   std::string results_dir; // --results-dir
   std::string out;         // --out (BENCH_fleet.json lanes)
 };
@@ -123,6 +139,7 @@ class FleetFlags {
   const std::int64_t* runs_;
   const std::string* scenarios_;
   const std::int64_t* lease_;
+  const std::int64_t* park_;
   const std::string* results_dir_;
   const std::string* out_;
 };
@@ -132,6 +149,20 @@ class FleetFlags {
 /// argument — prints the error plus usage to stderr and exits with status
 /// 2 instead of letting the exception escape to std::terminate.
 bool parse_or_usage(Cli& cli, int argc, const char* const* argv);
+
+/// Runs a flag finisher (CommonFlags::finish / FleetFlags::finish) and
+/// converts its value-validation Errors — out-of-range ints, enum typos —
+/// into the same usage exit(2) parse errors get, so `--metrics-interval 0`
+/// fails a bench binary exactly like `--metric-interval 10` does.
+template <class Fn>
+auto finish_or_usage(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
 
 /// Parses "24,48,96" into {24, 48, 96}.
 std::vector<int> parse_rank_list(const std::string& csv);

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Exposition lint for the live telemetry bus (docs/observability.md §6).
+
+Validates the files the TelemetryHub and the fleet aggregator publish:
+
+  *.prom  — Prometheus text exposition. Every metric must carry a
+            "# HELP" and a "# TYPE" line BEFORE its first sample, the
+            TYPE must be counter or gauge, metric names must match
+            [a-zA-Z_:][a-zA-Z0-9_:]*, labels must be properly quoted
+            key="value" pairs, and every sample value must parse as a
+            float. Duplicate (name, labels) samples are rejected —
+            a scraper would silently drop one.
+
+  *.json  — telemetry JSON snapshot. Must parse, carry the
+            dsmcpic.metrics.v1 schema, and hold gauges/counters objects
+            plus a series array of {name, stride, capacity, points}.
+
+    scripts/check_metrics.py FILE [FILE ...] [--require NAME [NAME ...]]
+
+--require NAMES additionally demands that every named metric appears in
+at least one of the given .prom files (fleet CI uses this to fail fast
+when an exposition silently loses a family).
+
+Exit codes: 0 all files valid, 1 validation violation, 2 bad input
+(missing file, unreadable JSON, unknown extension) — the same semantics
+as check_bench_regression.py.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(
+    r"^\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\}$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+
+def check_prom(path, text, errors):
+    helped, typed, seen_samples = set(), set(), set()
+    families = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                errors.append(f"{where}: malformed HELP line: {line!r}")
+                continue
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                errors.append(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            if parts[3] not in ("counter", "gauge"):
+                errors.append(f"{where}: TYPE must be counter or gauge, "
+                              f"got {parts[3]!r}")
+            if parts[2] in typed:
+                errors.append(f"{where}: duplicate TYPE for {parts[2]}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        families.add(name)
+        if name not in helped:
+            errors.append(f"{where}: sample for {name} before its # HELP")
+        if name not in typed:
+            errors.append(f"{where}: sample for {name} before its # TYPE")
+        if labels and not LABELS_RE.match(labels):
+            errors.append(f"{where}: malformed labels {labels!r}")
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"{where}: non-numeric sample value {value!r}")
+        key = (name, labels or "")
+        if key in seen_samples:
+            errors.append(f"{where}: duplicate sample {name}{labels or ''}")
+        seen_samples.add(key)
+    for name in sorted(helped - families):
+        errors.append(f"{path}: HELP for {name} but no samples")
+    return families
+
+
+def check_json(path, text, errors):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"error: {path}: invalid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+    schema = doc.get("schema")
+    if schema != "dsmcpic.metrics.v1":
+        errors.append(f"{path}: schema is {schema!r}, "
+                      f"expected 'dsmcpic.metrics.v1'")
+        return
+    for section in ("gauges", "counters"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"{path}: missing {section} object")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        errors.append(f"{path}: missing series array")
+        return
+    for i, s in enumerate(series):
+        ctx = f"{path}: series[{i}]"
+        for field in ("name", "stride", "capacity", "points"):
+            if field not in s:
+                errors.append(f"{ctx}: missing {field!r}")
+        points = s.get("points", [])
+        if len(points) > s.get("capacity", 0):
+            errors.append(f"{ctx}: {len(points)} points exceed capacity "
+                          f"{s.get('capacity')}")
+        steps = [p.get("step") for p in points]
+        if steps != sorted(steps):
+            errors.append(f"{ctx}: point steps not increasing")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help=".prom and/or .json files")
+    ap.add_argument("--require", nargs="+", default=[], metavar="NAME",
+                    help="metric families that must appear in the .prom "
+                         "files")
+    args = ap.parse_args()
+
+    errors, families = [], set()
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        if path.endswith(".prom"):
+            families |= check_prom(path, text, errors)
+        elif path.endswith(".json"):
+            check_json(path, text, errors)
+        else:
+            print(f"error: {path}: expected a .prom or .json file",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    missing = [n for n in args.require if n not in families]
+    if missing:
+        print(f"error: required metric(s) missing: {', '.join(missing)}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if errors:
+        for e in errors:
+            print(f"VIOLATION: {e}", file=sys.stderr)
+        print(f"{len(errors)} violation(s) across {len(args.files)} file(s)",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {len(args.files)} exposition file(s) valid"
+          + (f", {len(families)} metric families" if families else ""))
+
+
+if __name__ == "__main__":
+    main()

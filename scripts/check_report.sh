@@ -89,8 +89,12 @@ summary = json.load(open(os.path.join(root, "fleet_summary.json")))
 assert summary["schema"] == "dsmcpic.fleet_summary.v1", summary["schema"]
 runs = summary["runs"]
 assert len(runs) == 4, f"expected 4 runs, got {len(runs)}"
-assert summary["totals"]["done"] == 4
-assert summary["totals"]["parked"] == 0
+totals = summary["totals"]
+# The summary is republished after every lease, so its shape must be valid
+# both mid-flight and at the end; totals always partition the runs.
+assert totals["done"] + totals["parked"] + totals["pending"] == totals["runs"]
+assert totals["done"] == 4
+assert totals["parked"] == 0 and totals["pending"] == 0
 assert summary["slot_stats"]["runs_per_sec"] > 0
 cache = summary["shared_cache"]
 assert cache["geometry_hits"] + cache["geometry_misses"] > 0
@@ -118,5 +122,49 @@ for r in runs:
 print(f"{root}: ok ({len(runs)} fleet runs, "
       f"{cache['geometry_hits']} geometry cache hits)")
 EOF
+
+# An INTERRUPTED fleet must still leave a valid summary: park one run and
+# check the in-progress shape (digest only for done runs, parked runs keep
+# their sidecars + postmortem). Telemetry rides along: per-run metrics and
+# the fleet-level fleet_metrics.prom aggregate must pass the exposition
+# lint.
+"$BUILD"/bench/bench_fleet \
+  --fleet-runs 3 --fleet-slots 2 --fleet-lease 3 --steps 6 --fleet-park 3 \
+  --fleet-scenarios nozzle \
+  --results-dir "$OUT/fleet_parked" --metrics-dir "$OUT/fleet_parked" >/dev/null
+python3 - "$OUT/fleet_parked" <<'EOF'
+import json, os, sys
+root = sys.argv[1]
+summary = json.load(open(os.path.join(root, "fleet_summary.json")))
+totals = summary["totals"]
+assert totals["done"] + totals["parked"] + totals["pending"] == totals["runs"]
+assert totals["parked"] == 1 and totals["done"] == 2, totals
+for r in summary["runs"]:
+    run_dir = os.path.join(root, r["run_id"])
+    if r["state"] == "done":
+        assert r["digest"], r
+        assert os.path.exists(os.path.join(run_dir, "run_report.json"))
+    else:
+        # In-progress/parked runs have no digest yet, but stay resumable.
+        assert r["state"] in ("parked", "pending"), r
+        assert r["digest"] == "", r
+        assert os.path.exists(os.path.join(run_dir, "checkpoint.bin"))
+        assert os.path.exists(os.path.join(run_dir, "lease.bin"))
+    # Telemetry is on for every run in this fleet.
+    assert os.path.exists(os.path.join(run_dir, "metrics.prom")), run_dir
+parked = [r for r in summary["runs"] if r["state"] == "parked"]
+assert len(parked) == 1 and parked[0]["steps_done"] == 3, parked
+pm = json.load(open(os.path.join(root, parked[0]["run_id"],
+                                 "postmortem.json")))
+assert pm["schema"] == "dsmcpic.postmortem.v1", pm["schema"]
+assert pm["reason"] == "park", pm["reason"]
+print(f"{root}: ok (parked fleet summary valid, postmortem present)")
+EOF
+python3 scripts/check_metrics.py \
+  "$OUT/fleet_parked/fleet_metrics.prom" \
+  "$OUT"/fleet_parked/run*/metrics.prom \
+  "$OUT"/fleet_parked/run*/metrics.json \
+  --require dsmcpic_fleet_runs dsmcpic_fleet_runs_parked \
+            dsmcpic_fleet_run_steps_done
 
 echo "run report check clean."

@@ -18,7 +18,7 @@ BUILD="${1:-build-tsan}"
 cmake -B "$BUILD" -S . -G Ninja \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDSMCPIC_SANITIZE=thread
-cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test ensemble_test fleet_test -j
+cmake --build "$BUILD" --target par_test support_test determinism_test trace_test obs_test pic_test balance_policy_test ensemble_test fleet_test telemetry_test -j
 
 # halt_on_error so a race fails the script, not just prints a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -69,5 +69,12 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # park/resume round trip, so a racy registry, result aggregation, or shared
 # mesh access would be flagged here.
 "$BUILD"/tests/fleet_test
+# The telemetry bus (docs/observability.md §6) samples the solver from the
+# driver thread, but the FLEET aggregator republishes fleet_summary.json +
+# fleet_metrics.prom from whichever slot finished a lease, serialized by
+# publish_mu_ — and per-run hubs write exposition files from concurrent
+# slots. The fleet-telemetry test plus the threaded postmortem runs would
+# flag a racy snapshot or a torn publish here.
+"$BUILD"/tests/telemetry_test
 
 echo "TSan sweep clean."

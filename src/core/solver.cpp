@@ -7,6 +7,7 @@
 
 #include "obs/health_auditor.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "pic/boris.hpp"
 #include "pic/deposit.hpp"
 #include "pic/field.hpp"
@@ -263,6 +264,7 @@ void CoupledSolver::do_dsmc_move(StepDiagnostics& diag) {
                              total_particles());
 
   if (cfg_.fault == FaultInjection::kDropParticle) {
+    fault_fired_ = true;
     for (int r = 0; r < pcfg_.nranks; ++r) {
       if (stores_[r].empty()) continue;
       stores_[r].remove_swap(stores_[r].size() - 1);
@@ -455,8 +457,10 @@ void CoupledSolver::do_poisson_solve(StepDiagnostics& diag) {
         node_charge[r], kexec_.get(), &deposit_scratch_[r]);
     c.charge(par::WorkKind::kDeposit, static_cast<double>(st.deposited));
   });
-  if (cfg_.fault == FaultInjection::kSkewDeposit && !node_charge[0].empty())
+  if (cfg_.fault == FaultInjection::kSkewDeposit && !node_charge[0].empty()) {
     node_charge[0][0] += 1.0;  // one spurious coulomb on one node
+    fault_fired_ = true;
+  }
   nodex_->reduce_to_owners(*rt_, phase, node_charge);
 
   if (auditor_) {
@@ -672,6 +676,7 @@ void CoupledSolver::maybe_rebalance(StepDiagnostics& diag) {
   const double rb_measured = std::max(
       0.0, rt_->phase_stats(phases::kRebalance).busy_max - rb_busy_before);
   policy_.observe_rebalance(rb_measured);
+  if (cfg_.fault == FaultInjection::kSkewRebalanceCost) fault_fired_ = true;
   // Audit the cost feedback loop — but only once the policy has a learned
   // estimate to hold to account (the first event is by definition a guess).
   if (auditor_ && estimate_learned) {
@@ -792,7 +797,119 @@ void CoupledSolver::record_trace_counters(const StepDiagnostics& diag) {
     tr->add_instant(-1, "rebalance @ step " + std::to_string(step), t);
 }
 
+void CoupledSolver::record_telemetry(const StepDiagnostics& diag) {
+  if (!telemetry_) return;
+  obs::TelemetrySample s;
+  s.step = diag.dsmc_step;
+  s.supersteps = rt_->supersteps();
+  s.virtual_time = rt_->total_time();
+  s.active_ranks = active_;
+
+  s.particles = total_particles();
+  s.total_h = diag.total_h;
+  s.total_hplus = diag.total_hplus;
+  s.injected = diag.injected;
+  s.migrated_dsmc = diag.migrated_dsmc;
+  s.migrated_pic = diag.migrated_pic;
+  s.collisions = diag.collisions;
+  s.ionizations = diag.ionizations;
+  s.recombinations = diag.recombinations;
+  s.exited_dsmc = diag.exited_dsmc;
+  s.exited_pic = diag.exited_pic;
+  s.pic_lost = diag.pic_lost;
+  s.particles_per_rank = diag.particles_per_rank;
+  s.lii = diag.lii;
+  s.rebalanced = diag.rebalanced;
+  s.poisson_iterations = diag.poisson_iterations;
+
+  for (const std::string& name : rt_->phases()) {
+    const par::PhaseStats ps = rt_->phase_stats(name);
+    obs::TelemetryPhase p;
+    p.name = name;
+    p.busy_max = ps.busy_max;
+    p.busy_min = ps.busy_min;
+    p.busy_sum = ps.busy_sum;
+    p.transactions = ps.transactions;
+    p.bytes = ps.bytes;
+    s.phases.push_back(std::move(p));
+  }
+  const double exch_bytes = rt_->phase_stats(phases::kDsmcExchange).bytes +
+                            rt_->phase_stats(phases::kPicExchange).bytes +
+                            rt_->phase_stats(phases::kRebalance).bytes;
+  const std::uint64_t exch_msgs =
+      rt_->phase_stats(phases::kDsmcExchange).transactions +
+      rt_->phase_stats(phases::kPicExchange).transactions +
+      rt_->phase_stats(phases::kRebalance).transactions;
+  s.exchange_bytes_delta = exch_bytes - telem_prev_exch_bytes_;
+  s.exchange_messages_delta = exch_msgs - telem_prev_exch_msgs_;
+  telem_prev_exch_bytes_ = exch_bytes;
+  telem_prev_exch_msgs_ = exch_msgs;
+  const par::PoolStats pool = rt_->pool_stats();
+  s.pool_acquires = pool.acquires;
+  s.pool_misses = pool.misses;
+  s.pool_recycles = pool.recycles;
+
+  double scale_min = 0.0, scale_max = 0.0, scale_sum = 0.0;
+  for (int r = 0; r < active_; ++r) {
+    const double sc = cost_model_.rank_scale(r);
+    if (r == 0 || sc < scale_min) scale_min = sc;
+    if (r == 0 || sc > scale_max) scale_max = sc;
+    scale_sum += sc;
+  }
+  s.cost_scale_min = scale_min;
+  s.cost_scale_max = scale_max;
+  s.cost_scale_mean = active_ > 0 ? scale_sum / active_ : 1.0;
+
+  const std::vector<balance::PolicyDecision>& decisions = policy_.decisions();
+  for (auto it = decisions.rbegin();
+       it != decisions.rend() && it->step == diag.dsmc_step; ++it) {
+    obs::TelemetryDecision d;
+    d.step = it->step;
+    d.lii = it->lii;
+    d.imbalance_per_step = it->imbalance_per_step;
+    d.projected_imbalance_cost = it->projected_imbalance_cost;
+    d.rebalance_cost_estimate = it->rebalance_cost_estimate;
+    d.rebalance = it->rebalance;
+    s.decisions.push_back(d);
+  }
+  std::reverse(s.decisions.begin(), s.decisions.end());
+
+  if (auditor_) {
+    s.audit_checks = auditor_->report().checks();
+    s.audit_violations = auditor_->report().violations();
+  }
+
+  telemetry_->on_step(s);
+}
+
 StepDiagnostics CoupledSolver::step() {
+  try {
+    StepDiagnostics diag = step_impl();
+    // A fault-injection mode tripping is a postmortem trigger: the first
+    // faulty step dumps the flight recorder (including its own sample), so
+    // the forensics cover the exact boundary where the books went wrong.
+    if (telemetry_ && fault_fired_ && !telemetry_->postmortem_written()) {
+      const char* reason = "fault";
+      switch (cfg_.fault) {
+        case FaultInjection::kDropParticle: reason = "fault_drop_particle"; break;
+        case FaultInjection::kSkewDeposit: reason = "fault_skew_deposit"; break;
+        case FaultInjection::kSkewRebalanceCost:
+          reason = "fault_skew_rebalance_cost";
+          break;
+        case FaultInjection::kNone: break;
+      }
+      telemetry_->dump_postmortem(reason);
+    }
+    return diag;
+  } catch (...) {
+    // HealthAuditor kAbort (or any error escaping the step) — dump the
+    // completed supersteps before the exception unwinds the run.
+    if (telemetry_) telemetry_->dump_postmortem("abort");
+    throw;
+  }
+}
+
+StepDiagnostics CoupledSolver::step_impl() {
   StepDiagnostics diag;
   diag.dsmc_step = step_;
 
@@ -820,6 +937,10 @@ StepDiagnostics CoupledSolver::step() {
         total_particles(),
         static_cast<std::int64_t>(rt_->undelivered_messages()));
   }
+  // After the auditor closed the step, so the sample carries this step's
+  // full audit tallies; an abort above leaves this step out of the flight
+  // recorder (only COMPLETED supersteps are recorded).
+  record_telemetry(diag);
 
   ++step_;
   history_.push_back(diag);

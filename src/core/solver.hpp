@@ -37,6 +37,7 @@
 namespace dsmcpic::obs {
 class HealthAuditor;
 class HostProfiler;
+class TelemetryHub;
 }
 
 namespace dsmcpic::core {
@@ -150,6 +151,16 @@ class CoupledSolver {
   void set_host_profiler(obs::HostProfiler* prof) { prof_ = prof; }
   obs::HostProfiler* host_profiler() const { return prof_; }
 
+  /// Attaches a live telemetry hub; nullptr detaches. Sampled once per DSMC
+  /// step on the driver thread from accounting state only (same contract as
+  /// the auditor: read-only, no randomness), so attaching a hub cannot
+  /// perturb golden digests, traces or reports. On a HealthAuditor abort
+  /// (or any error escaping step()), a fault-injection trip, or a park the
+  /// hub's flight recorder is dumped to its postmortem path. The hub must
+  /// outlive the attachment.
+  void set_telemetry(obs::TelemetryHub* hub) { telemetry_ = hub; }
+  obs::TelemetryHub* telemetry() const { return telemetry_; }
+
   // ---- checkpoint / restart ----------------------------------------------
   /// Writes the complete simulation state (particles, potential, ownership,
   /// RNG stream positions, accounting clocks) to a binary file. Call
@@ -172,6 +183,13 @@ class CoupledSolver {
   /// rebalance decisions as instant events. No-op without a recorder;
   /// reads accounting state only, so it cannot perturb the run.
   void record_trace_counters(const StepDiagnostics& diag);
+
+  /// Copies the step's deterministic accounting into a TelemetrySample and
+  /// feeds the attached hub. No-op without a hub; reads accounting state
+  /// only, so it cannot perturb the run.
+  void record_telemetry(const StepDiagnostics& diag);
+  /// step() body; step() wraps it to dump the flight recorder on abort.
+  StepDiagnostics step_impl();
 
   /// Number of removal-flagged particles across all ranks — the drop count
   /// the next exchange must produce. Audit-only read.
@@ -253,6 +271,10 @@ class CoupledSolver {
 
   obs::HealthAuditor* auditor_ = nullptr;  // not owned
   obs::HostProfiler* prof_ = nullptr;      // not owned
+  obs::TelemetryHub* telemetry_ = nullptr;  // not owned
+  double telem_prev_exch_bytes_ = 0.0;  // telemetry's own migration deltas
+  std::uint64_t telem_prev_exch_msgs_ = 0;
+  bool fault_fired_ = false;  // a fault-injection site was reached
 };
 
 }  // namespace dsmcpic::core

@@ -6,11 +6,14 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 
 #include "fleet/report.hpp"
+#include "obs/telemetry.hpp"
 #include "support/error.hpp"
 #include "support/serialize.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/chrome_writer.hpp"
 #include "trace/json_writer.hpp"
 
 namespace dsmcpic::fleet {
@@ -161,8 +164,21 @@ void FleetRunner::run_lease(JobState& js) {
   core::ParallelConfig par = canonical_parallel(js.ranks);
   par.profile = assets_->machine(opts_.machine);
   par.kernel_threads = opts_.kernel_threads;
+  // The hub outlives the solver (the solver holds a raw pointer to it).
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (opts_.telemetry && !js.dir.empty()) {
+    obs::TelemetryConfig tc;
+    tc.metrics_interval = opts_.metrics_interval;
+    tc.flight_recorder = opts_.flight_recorder;
+    tc.metrics_prom_path = js.dir + "/metrics.prom";
+    tc.metrics_json_path = js.dir + "/metrics.json";
+    tc.postmortem_path = js.dir + "/postmortem.json";
+    tc.run_label = js.run_id;
+    hub = std::make_unique<obs::TelemetryHub>(tc);
+  }
   core::CoupledSolver solver(cfg, par,
                              assets_->geometry(js.scenario->config.nozzle));
+  if (hub) solver.set_telemetry(hub.get());
   if (js.has_checkpoint) solver.restore_checkpoint(js.dir + "/checkpoint.bin");
 
   int limit = js.steps_total;
@@ -193,6 +209,12 @@ void FleetRunner::run_lease(JobState& js) {
     js.state = (js.job.park_at > 0 && js.steps_done == js.job.park_at)
                    ? RunState::kParked
                    : RunState::kPending;
+  }
+  if (hub) {
+    // A park is the fleet's planned "crash": leave the black box behind so
+    // the operator can inspect what the run was doing at the park point.
+    if (js.state == RunState::kParked) hub->dump_postmortem("park");
+    hub->publish();  // final snapshot for this lease
   }
   js.wall_ms += std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
@@ -229,6 +251,29 @@ void FleetRunner::finish_run(JobState& js, core::CoupledSolver& solver) {
   std::filesystem::remove(js.dir + "/lease.bin", ec);
 }
 
+FleetRunResult FleetRunner::make_result(const JobState& js) {
+  FleetRunResult r;
+  r.run_id = js.run_id;
+  r.scenario = js.scenario->name;
+  r.state = js.state;
+  r.steps_done = js.steps_done;
+  r.steps_total = js.steps_total;
+  r.leases = js.leases;
+  r.digest = js.final_digest;
+  r.final_particles = js.final_particles;
+  r.virtual_seconds = js.virtual_seconds;
+  r.wall_ms = js.wall_ms;
+  return r;
+}
+
+void FleetRunner::publish_progress(std::size_t idx) {
+  if (opts_.results_dir.empty()) return;
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  progress_[idx] = make_result(*jobs_[idx]);
+  write_fleet_summary(progress_);
+  write_fleet_metrics(progress_);
+}
+
 std::vector<FleetRunResult> FleetRunner::run_all() {
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -236,16 +281,25 @@ std::vector<FleetRunResult> FleetRunner::run_all() {
   for (std::size_t i = 0; i < jobs_.size(); ++i)
     if (jobs_[i]->state == RunState::kPending) queue.push_back(i);
 
+  // Seed the live progress snapshot (resumed jobs already carry steps).
+  progress_.clear();
+  progress_.reserve(jobs_.size());
+  for (const auto& js : jobs_) progress_.push_back(make_result(*js));
+
   support::ThreadPool pool(opts_.slots);
   while (!queue.empty()) {
     std::vector<std::size_t> requeue;
     std::mutex mu;
     pool.parallel_for(static_cast<int>(queue.size()), [&](int i) {
-      JobState& js = *jobs_[queue[static_cast<std::size_t>(i)]];
+      const std::size_t idx = queue[static_cast<std::size_t>(i)];
+      JobState& js = *jobs_[idx];
       run_lease(js);
+      // Republish the fleet files after EVERY lease, not only at the end:
+      // killing the process mid-fleet leaves a valid partial summary.
+      publish_progress(idx);
       if (js.state == RunState::kPending) {
         std::lock_guard<std::mutex> lock(mu);
-        requeue.push_back(queue[static_cast<std::size_t>(i)]);
+        requeue.push_back(idx);
       }
     });
     // Deterministic round order no matter which slot finished first.
@@ -263,18 +317,7 @@ std::vector<FleetRunResult> FleetRunner::run_all() {
   std::vector<FleetRunResult> results;
   results.reserve(jobs_.size());
   for (const auto& js : jobs_) {
-    FleetRunResult r;
-    r.run_id = js->run_id;
-    r.scenario = js->scenario->name;
-    r.state = js->state;
-    r.steps_done = js->steps_done;
-    r.steps_total = js->steps_total;
-    r.leases = js->leases;
-    r.digest = js->final_digest;
-    r.final_particles = js->final_particles;
-    r.virtual_seconds = js->virtual_seconds;
-    r.wall_ms = js->wall_ms;
-    results.push_back(r);
+    results.push_back(make_result(*js));
     stats_.busy_ms += js->wall_ms;
     stats_.runs_done += js->state == RunState::kDone ? 1 : 0;
     stats_.runs_parked += js->state == RunState::kParked ? 1 : 0;
@@ -287,15 +330,28 @@ std::vector<FleetRunResult> FleetRunner::run_all() {
   }
   stats_.cache = assets_->stats();
 
-  if (!opts_.results_dir.empty()) write_fleet_summary(results);
+  if (!opts_.results_dir.empty()) {
+    // Final publication with the end-to-end slot stats filled in. The lock
+    // is free by now (all leases drained), taken only for form.
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    progress_ = results;
+    write_fleet_summary(results);
+    write_fleet_metrics(results);
+  }
   return results;
 }
 
 void FleetRunner::write_fleet_summary(
     const std::vector<FleetRunResult>& results) const {
-  const std::string path = opts_.results_dir + "/fleet_summary.json";
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  DSMCPIC_CHECK_MSG(os.good(), "cannot write " << path);
+  // Totals come from the per-run snapshot, not stats_ — mid-fleet
+  // publications happen before stats_ exists. "pending" counts both
+  // untouched runs and preempted runs awaiting their next lease.
+  std::int64_t done = 0, parked = 0;
+  for (const FleetRunResult& r : results) {
+    done += r.state == RunState::kDone ? 1 : 0;
+    parked += r.state == RunState::kParked ? 1 : 0;
+  }
+  std::ostringstream os;
   trace::JsonWriter w(os);
   w.begin_object();
   w.kv("schema", kSummarySchema);
@@ -321,9 +377,11 @@ void FleetRunner::write_fleet_summary(
   w.end_array();
   w.key("totals");
   w.begin_object();
-  w.kv("runs", stats_.runs_total);
-  w.kv("done", stats_.runs_done);
-  w.kv("parked", stats_.runs_parked);
+  w.kv("runs", static_cast<std::int64_t>(results.size()));
+  w.kv("done", done);
+  w.kv("parked", parked);
+  w.kv("pending",
+       static_cast<std::int64_t>(results.size()) - done - parked);
   w.end_object();
   w.key("slot_stats");
   w.begin_object();
@@ -342,6 +400,61 @@ void FleetRunner::write_fleet_summary(
   w.end_object();
   w.finish();
   os << "\n";
+  obs::atomic_write_file(opts_.results_dir + "/fleet_summary.json", os.str());
+}
+
+void FleetRunner::write_fleet_metrics(
+    const std::vector<FleetRunResult>& results) const {
+  std::int64_t done = 0, parked = 0;
+  for (const FleetRunResult& r : results) {
+    done += r.state == RunState::kDone ? 1 : 0;
+    parked += r.state == RunState::kParked ? 1 : 0;
+  }
+  std::ostringstream os;
+  auto gauge = [&os](const char* name, const char* help) {
+    os << "# HELP " << name << " " << help << "\n";
+    os << "# TYPE " << name << " gauge\n";
+  };
+  gauge("dsmcpic_fleet_slots", "Configured concurrent solver slots.");
+  os << "dsmcpic_fleet_slots " << opts_.slots << "\n";
+  gauge("dsmcpic_fleet_runs", "Queued runs in this fleet.");
+  os << "dsmcpic_fleet_runs " << results.size() << "\n";
+  gauge("dsmcpic_fleet_runs_done", "Runs completed so far.");
+  os << "dsmcpic_fleet_runs_done " << done << "\n";
+  gauge("dsmcpic_fleet_runs_parked", "Runs parked at their park point.");
+  os << "dsmcpic_fleet_runs_parked " << parked << "\n";
+  gauge("dsmcpic_fleet_runs_pending", "Runs waiting for their next lease.");
+  os << "dsmcpic_fleet_runs_pending "
+     << static_cast<std::int64_t>(results.size()) - done - parked << "\n";
+
+  auto labels = [](const FleetRunResult& r) {
+    std::ostringstream ls;
+    ls << "{run=\"" << r.run_id << "\",scenario=\"" << r.scenario
+       << "\",state=\"" << state_name(r.state) << "\"}";
+    return ls.str();
+  };
+  gauge("dsmcpic_fleet_run_steps_done", "DSMC steps completed per run.");
+  for (const FleetRunResult& r : results)
+    os << "dsmcpic_fleet_run_steps_done" << labels(r) << " " << r.steps_done
+       << "\n";
+  gauge("dsmcpic_fleet_run_steps_total", "DSMC step budget per run.");
+  for (const FleetRunResult& r : results)
+    os << "dsmcpic_fleet_run_steps_total" << labels(r) << " " << r.steps_total
+       << "\n";
+  gauge("dsmcpic_fleet_run_leases", "Leases consumed per run.");
+  for (const FleetRunResult& r : results)
+    os << "dsmcpic_fleet_run_leases" << labels(r) << " " << r.leases << "\n";
+  gauge("dsmcpic_fleet_run_particles",
+        "Final particle count per completed run.");
+  for (const FleetRunResult& r : results)
+    os << "dsmcpic_fleet_run_particles" << labels(r) << " "
+       << r.final_particles << "\n";
+  gauge("dsmcpic_fleet_run_virtual_seconds",
+        "End-to-end virtual time per completed run.");
+  for (const FleetRunResult& r : results)
+    os << "dsmcpic_fleet_run_virtual_seconds" << labels(r) << " "
+       << trace::format_double(r.virtual_seconds) << "\n";
+  obs::atomic_write_file(opts_.results_dir + "/fleet_metrics.prom", os.str());
 }
 
 }  // namespace dsmcpic::fleet

@@ -55,6 +55,13 @@ struct FleetOptions {
   std::string machine = "tianhe2";
   int kernel_threads = 1;
   int sort_every = 8;  // digest-invariant, see SolverConfig::sort_every
+  /// Live telemetry (docs/observability.md §6). With a results dir, every
+  /// lease runs under a TelemetryHub publishing <run_dir>/metrics.prom +
+  /// metrics.json every `metrics_interval` steps; a parked run dumps
+  /// <run_dir>/postmortem.json. Telemetry never perturbs digests/reports.
+  bool telemetry = false;
+  int metrics_interval = 10;
+  int flight_recorder = 32;
 };
 
 enum class RunState { kPending, kParked, kDone };
@@ -108,7 +115,11 @@ class FleetRunner {
   /// Runs every queued job to completion (or its park point) on the slot
   /// pool. Returns per-run results in add order regardless of completion
   /// order, and writes <results_dir>/fleet_summary.json when a results dir
-  /// is configured. Call once.
+  /// is configured. The summary (plus <results_dir>/fleet_metrics.prom,
+  /// the fleet-level Prometheus exposition with per-run labels and live
+  /// slot/progress gauges) is republished ATOMICALLY after every lease, so
+  /// an interrupted fleet always leaves a valid partial summary behind —
+  /// not only after all runs complete. Call once.
   std::vector<FleetRunResult> run_all();
 
   /// Scheduling/throughput counters of the last run_all().
@@ -120,13 +131,23 @@ class FleetRunner {
   void run_lease(JobState& js);
   void finish_run(JobState& js, core::CoupledSolver& solver);
   void write_sidecar(const JobState& js) const;
+  static FleetRunResult make_result(const JobState& js);
+  /// Renders + atomically publishes fleet_summary.json and
+  /// fleet_metrics.prom for the given per-run snapshot.
   void write_fleet_summary(const std::vector<FleetRunResult>& results) const;
+  void write_fleet_metrics(const std::vector<FleetRunResult>& results) const;
+  /// Copies job `idx`'s state into the shared progress snapshot and
+  /// republishes both fleet files. Thread-safe (one lock for snapshot +
+  /// write, so concurrent leases serialize their publications).
+  void publish_progress(std::size_t idx);
 
   FleetOptions opts_;
   std::shared_ptr<SharedAssets> assets_;
   ScenarioCorpus corpus_;
   std::vector<std::unique_ptr<JobState>> jobs_;
   FleetStats stats_;
+  mutable std::mutex publish_mu_;
+  std::vector<FleetRunResult> progress_;  // guarded by publish_mu_
 };
 
 }  // namespace dsmcpic::fleet

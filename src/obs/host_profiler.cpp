@@ -38,6 +38,7 @@ HostProfiler::Scope::~Scope() {
 void HostProfiler::record(const std::string& kernel, double ms) {
   std::lock_guard<std::mutex> lock(mu_);
   samples_[kernel].push_back(ms);
+  total_ms_sum_ += ms;
 }
 
 std::map<std::string, HostProfiler::KernelStats> HostProfiler::stats() const {
@@ -75,9 +76,15 @@ std::int64_t HostProfiler::sample_count() const {
   return n;
 }
 
+double HostProfiler::total_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ms_sum_;
+}
+
 void HostProfiler::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.clear();
+  total_ms_sum_ = 0.0;
 }
 
 }  // namespace dsmcpic::obs

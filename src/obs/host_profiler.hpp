@@ -65,6 +65,11 @@ class HostProfiler {
   /// Total samples recorded (all kernels).
   std::int64_t sample_count() const;
 
+  /// Sum of all recorded milliseconds across every kernel. O(1) bookkeeping
+  /// (maintained on record), cheap enough for per-step telemetry sampling
+  /// where stats() — which sorts every kernel's samples — is not.
+  double total_ms() const;
+
   /// Drops all samples.
   void reset();
 
@@ -75,6 +80,7 @@ class HostProfiler {
   friend class Scope;
   mutable std::mutex mu_;
   std::map<std::string, std::vector<double>> samples_;
+  double total_ms_sum_ = 0.0;
 };
 
 }  // namespace dsmcpic::obs

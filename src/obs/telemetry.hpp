@@ -1,0 +1,240 @@
+#pragma once
+// Live telemetry bus (DESIGN.md §2f, docs/observability.md §6). The trace
+// and run-report subsystems are strictly post-hoc: a Chrome trace or a
+// run_report.json appears only after the run ends, and a run killed by a
+// HealthAuditor abort leaves nothing to debug. This module watches the
+// step loop live, from three angles:
+//
+//   * TelemetrySeries — fixed-capacity superstep time-series. Every DSMC
+//     step the solver pushes one TelemetrySample (per-phase virtual time,
+//     particle ledger, imbalance, rebalance decisions + cost-model
+//     corrections, exchange bytes/messages, payload-pool stats, audit
+//     tallies) and the hub fans the scalars into named series. When a
+//     series fills it downsamples 2:1 — keep every other sample, double
+//     the step stride — driven purely by the step index, so the retained
+//     sample set is a pure function of (capacity, steps run).
+//
+//   * Flight recorder — ring of the last N full TelemetrySamples. On a
+//     HealthAuditor abort, a fault-injection trip, or a solver park it
+//     dumps postmortem.json: the deterministic slice of those records
+//     (virtual time, ledger, phases, decisions, audit tallies — no
+//     wall-clock, no pool internals), so the bytes are identical across
+//     --exec-mode / --kernel-threads / --sort-every.
+//
+//   * Exposition — Prometheus text format (metrics.prom) + JSON snapshot
+//     (metrics.json), republished atomically (tmp + rename) every K
+//     samples, so an external scraper never sees a torn file. Host
+//     wall-clock kernel totals from an attached HostProfiler ride along
+//     here (and only here — they never enter the postmortem).
+//
+// Like every observer in obs/, the hub is pure observation: the solver
+// copies values it already computed into a plain TelemetrySample (obs
+// never includes core headers), nothing feeds back into physics, clocks
+// or RNG streams, and attaching a hub cannot perturb golden digests,
+// trace bytes or run_report.json bytes (tests/telemetry_test.cpp,
+// tests/golden_test.cpp).
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsmcpic::obs {
+
+class HostProfiler;
+
+inline constexpr const char* kPostmortemSchema = "dsmcpic.postmortem.v1";
+inline constexpr const char* kMetricsSchema = "dsmcpic.metrics.v1";
+
+/// Cumulative virtual-time accounting of one runtime phase at a step
+/// boundary (plain copy of par::PhaseStats + its name).
+struct TelemetryPhase {
+  std::string name;
+  double busy_max = 0.0;
+  double busy_min = 0.0;
+  double busy_sum = 0.0;
+  std::uint64_t transactions = 0;
+  double bytes = 0.0;
+};
+
+/// One when-to-rebalance decision (plain copy of balance::PolicyDecision —
+/// obs stays below balance in the layer graph).
+struct TelemetryDecision {
+  int step = 0;
+  double lii = 0.0;
+  double imbalance_per_step = 0.0;
+  double projected_imbalance_cost = 0.0;
+  double rebalance_cost_estimate = 0.0;
+  bool rebalance = false;
+};
+
+/// Everything the solver knows at one superstep boundary, as plain values.
+/// All fields except pool_* derive from deterministic virtual state, so
+/// they are bit-identical across execution backends.
+struct TelemetrySample {
+  int step = 0;
+  std::uint64_t supersteps = 0;   // runtime supersteps executed so far
+  double virtual_time = 0.0;      // end-to-end virtual seconds so far
+  int active_ranks = 0;
+
+  // ---- particle ledger (this step) ----------------------------------------
+  std::int64_t particles = 0;  // alive at step end
+  std::int64_t total_h = 0;
+  std::int64_t total_hplus = 0;
+  std::int64_t injected = 0;
+  std::int64_t migrated_dsmc = 0;
+  std::int64_t migrated_pic = 0;
+  std::int64_t collisions = 0;
+  std::int64_t ionizations = 0;
+  std::int64_t recombinations = 0;
+  std::int64_t exited_dsmc = 0;
+  std::int64_t exited_pic = 0;
+  std::int64_t pic_lost = 0;
+  std::vector<std::int64_t> particles_per_rank;
+
+  double lii = 0.0;
+  bool rebalanced = false;
+  int poisson_iterations = 0;
+
+  // ---- runtime accounting (cumulative at this boundary) -------------------
+  std::vector<TelemetryPhase> phases;
+  double exchange_bytes_delta = 0.0;        // migration bytes this step
+  std::uint64_t exchange_messages_delta = 0;  // migration messages this step
+  std::uint64_t pool_acquires = 0;  // PayloadPool counters (cumulative)
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_recycles = 0;
+
+  // ---- balancer state -----------------------------------------------------
+  /// Cost-model per-rank correction factors over the active set (1.0
+  /// everywhere on the static model).
+  double cost_scale_min = 1.0;
+  double cost_scale_max = 1.0;
+  double cost_scale_mean = 1.0;
+  /// Policy decisions recorded at this step (usually empty or one).
+  std::vector<TelemetryDecision> decisions;
+
+  // ---- audit tallies (cumulative; zero without an auditor) ----------------
+  std::int64_t audit_checks = 0;
+  std::int64_t audit_violations = 0;
+};
+
+/// Fixed-capacity (step, value) series with deterministic 2:1 downsampling.
+/// Pushes are accepted only for steps that are multiples of the current
+/// stride; when the buffer reaches capacity it keeps every other retained
+/// sample and doubles the stride. Steps must arrive in increasing order
+/// starting at 0, which the solver's step loop guarantees.
+class TelemetrySeries {
+ public:
+  struct Point {
+    std::int64_t step = 0;
+    double value = 0.0;
+  };
+
+  explicit TelemetrySeries(int capacity);
+
+  void push(std::int64_t step, double value);
+
+  int capacity() const { return capacity_; }
+  /// Current step stride between retained samples (1, 2, 4, ...).
+  std::int64_t stride() const { return stride_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  int capacity_;
+  std::int64_t stride_ = 1;
+  std::vector<Point> points_;
+};
+
+struct TelemetryConfig {
+  /// Ring capacity of every time series (>= 2).
+  int series_capacity = 128;
+  /// Flight-recorder depth: last N samples kept for the postmortem (>= 1).
+  int flight_recorder = 32;
+  /// Publish metrics.prom/metrics.json every K samples (>= 1).
+  int metrics_interval = 10;
+  /// Exposition targets; empty paths disable that writer. The postmortem
+  /// path may be set on its own (flight recorder without live scraping).
+  std::string metrics_prom_path;
+  std::string metrics_json_path;
+  std::string postmortem_path;
+  /// Value of the `run` label on every exposed metric ("" = no label).
+  std::string run_label;
+};
+
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(TelemetryConfig cfg = {});
+
+  const TelemetryConfig& config() const { return cfg_; }
+
+  /// Attaches a host profiler whose per-kernel total_ms are exposed at
+  /// publish time (nullptr detaches). Never enters the postmortem.
+  void set_host_profiler(const HostProfiler* prof) { prof_ = prof; }
+
+  /// Ingests one superstep boundary: updates every series, the flight
+  /// recorder and the cumulative counters, then republishes the exposition
+  /// files when the sample ordinal crosses the configured interval.
+  void on_step(const TelemetrySample& s);
+
+  /// Writes metrics.prom / metrics.json (whichever paths are configured)
+  /// atomically: the document is staged to "<path>.tmp" and renamed over
+  /// the target, so readers only ever see complete files.
+  void publish();
+
+  /// Dumps the flight recorder to cfg.postmortem_path (no-op when the path
+  /// is empty or a postmortem was already written — the FIRST trigger wins,
+  /// so an abort mid-run is not overwritten by a later trigger).
+  void dump_postmortem(const std::string& reason);
+  bool postmortem_written() const { return postmortem_written_; }
+
+  /// Serializes the postmortem document to `os` (deterministic bytes).
+  void write_postmortem(std::ostream& os, const std::string& reason) const;
+  /// Serializes the Prometheus text exposition to `os`.
+  void write_prometheus(std::ostream& os) const;
+  /// Serializes the JSON snapshot to `os`.
+  void write_json_snapshot(std::ostream& os) const;
+
+  // ---- inspection ---------------------------------------------------------
+  std::int64_t samples_seen() const { return samples_seen_; }
+  const std::deque<TelemetrySample>& flight() const { return flight_; }
+  /// Named series, keys sorted (std::map) so exposition order is stable.
+  const std::map<std::string, TelemetrySeries>& series() const {
+    return series_;
+  }
+  std::int64_t publishes() const { return publishes_; }
+
+ private:
+  void push_series(const std::string& name, std::int64_t step, double value);
+
+  TelemetryConfig cfg_;
+  const HostProfiler* prof_ = nullptr;  // not owned
+
+  std::int64_t samples_seen_ = 0;
+  std::int64_t publishes_ = 0;
+  bool postmortem_written_ = false;
+
+  std::map<std::string, TelemetrySeries> series_;
+  std::deque<TelemetrySample> flight_;
+
+  // Cumulative ledger counters (sums of per-step deltas).
+  std::int64_t injected_total_ = 0;
+  std::int64_t migrated_dsmc_total_ = 0;
+  std::int64_t migrated_pic_total_ = 0;
+  std::int64_t collisions_total_ = 0;
+  std::int64_t ionizations_total_ = 0;
+  std::int64_t recombinations_total_ = 0;
+  std::int64_t exited_total_ = 0;
+  std::int64_t pic_lost_total_ = 0;
+  std::int64_t rebalances_total_ = 0;
+  double exchange_bytes_total_ = 0.0;
+  std::uint64_t exchange_messages_total_ = 0;
+};
+
+/// Writes `content` to "<path>.tmp" and renames it over `path` (POSIX
+/// rename is atomic within a filesystem). Throws dsmcpic::Error on I/O
+/// failure. Shared by the hub and the fleet aggregator.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace dsmcpic::obs

@@ -179,6 +179,92 @@ TEST(BenchCli, FleetFlagDefaultsAndValidation) {
   }
 }
 
+TEST(BenchCli, MetricsFlagsReachBenchOptions) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+  const char* argv[] = {"prog", "--metrics-dir",      "/tmp/metrics",
+                        "--metrics-interval", "5",    "--flight-recorder",
+                        "17"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 7, argv));
+  const bench::BenchOptions o = flags.finish();
+  EXPECT_EQ(o.metrics_dir, "/tmp/metrics");
+  EXPECT_EQ(o.metrics_interval, 5);
+  EXPECT_EQ(o.flight_recorder, 17);
+}
+
+TEST(BenchCli, MetricsFlagsDefaultAndRejectNonPositive) {
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 1, argv));
+    const bench::BenchOptions o = flags.finish();
+    EXPECT_TRUE(o.metrics_dir.empty());
+    EXPECT_EQ(o.metrics_interval, 10);
+    EXPECT_EQ(o.flight_recorder, 32);
+  }
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog", "--metrics-interval", "0"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(flags.finish(), Error);
+  }
+  {
+    Cli cli("bench under test");
+    bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+    const char* argv[] = {"prog", "--flight-recorder", "-3"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(flags.finish(), Error);
+  }
+}
+
+TEST(BenchCli, MistypedMetricsFlagExitsWithUsage) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+  const char* argv[] = {"prog", "--metric-interval", "5"};
+  EXPECT_EXIT(bench::parse_or_usage(cli, 3, argv),
+              testing::ExitedWithCode(2), "unknown flag --metric-interval");
+}
+
+// The bench mains run finish() through finish_or_usage, so a value that
+// parses but fails validation exits 2 with the message — it must never
+// escape to std::terminate.
+TEST(BenchCli, FinishOrUsageExitsTwoOnValidationError) {
+  Cli cli("bench under test");
+  bench::CommonFlags flags(cli, "bench_under_test", "4", 3);
+  const char* argv[] = {"prog", "--metrics-interval", "0"};
+  ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+  EXPECT_EXIT(bench::finish_or_usage([&] { return flags.finish(); }),
+              testing::ExitedWithCode(2), "--metrics-interval must be >= 1");
+}
+
+TEST(BenchCli, FleetParkFlagReachesOptionsAndValidates) {
+  {
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog", "--fleet-park", "3", "--results-dir",
+                          "/tmp/fleet_out"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 5, argv));
+    EXPECT_EQ(fleet.finish().park, 3);
+  }
+  {
+    // Parking checkpoints to disk, so it needs a results dir too.
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog", "--fleet-park", "3"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(fleet.finish(), Error);
+  }
+  {
+    Cli cli("bench under test");
+    bench::FleetFlags fleet(cli);
+    const char* argv[] = {"prog", "--fleet-park", "-1"};
+    ASSERT_TRUE(bench::parse_or_usage(cli, 3, argv));
+    EXPECT_THROW(fleet.finish(), Error);
+  }
+}
+
 TEST(BenchCli, TraceCasePathInsertsBeforeExtension) {
   EXPECT_EQ(bench::trace_case_path("out.json", 0), "out.json");
   EXPECT_EQ(bench::trace_case_path("out.json", 1), "out.case1.json");

@@ -14,6 +14,7 @@
 #include "core/solver.hpp"
 #include "obs/health_auditor.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "trace/recorder.hpp"
 
 namespace dsmcpic::core {
@@ -50,7 +51,8 @@ std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
                          balance::CostModelKind cost_model =
                              balance::CostModelKind::kStatic,
                          balance::PolicyKind policy =
-                             balance::PolicyKind::kThreshold) {
+                             balance::PolicyKind::kThreshold,
+                         bool telemetry = false) {
   ParallelConfig par;
   par.nranks = 6;
   par.strategy = strategy;
@@ -69,6 +71,15 @@ std::uint64_t run_digest(exchange::Strategy strategy, bool balance_enabled,
   if (audited) {
     solver.set_auditor(&auditor);
     solver.set_host_profiler(&prof);
+  }
+  // Telemetry samples every step and keeps a flight recorder, but writes
+  // nothing (empty paths) — the digest must not notice it exists.
+  obs::TelemetryConfig tc;
+  tc.metrics_interval = 1;
+  obs::TelemetryHub hub(tc);
+  if (telemetry) {
+    hub.set_host_profiler(&prof);
+    solver.set_telemetry(&hub);
   }
   solver.run(8);
   if (audited) {
@@ -153,6 +164,20 @@ TEST(Golden, AuditsEnabledMatchSerialGolden) {
   const std::uint64_t got =
       run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
                  /*kernel_threads=*/1, /*traced=*/false, /*audited=*/true);
+  EXPECT_EQ(got, kGoldenDcBalanced)
+      << "new digest: 0x" << std::hex << got << "ULL";
+}
+
+// The telemetry hub (docs/observability.md §6) makes the same
+// zero-perturbation claim as audits and traces: sampling every step into
+// the series + flight recorder, with the host profiler attached, must not
+// move the digest off the golden value.
+TEST(Golden, TelemetryEnabledMatchesSerialGolden) {
+  const std::uint64_t got =
+      run_digest(exchange::Strategy::kDistributed, /*balance=*/true,
+                 /*kernel_threads=*/1, /*traced=*/false, /*audited=*/true,
+                 /*sort_every=*/0, balance::CostModelKind::kStatic,
+                 balance::PolicyKind::kThreshold, /*telemetry=*/true);
   EXPECT_EQ(got, kGoldenDcBalanced)
       << "new digest: 0x" << std::hex << got << "ULL";
 }
